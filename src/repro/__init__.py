@@ -1,0 +1,48 @@
+"""repro — a full reproduction of TSUE (HPDC '25).
+
+TSUE is a two-stage data update method for erasure-coded cluster file
+systems: updates are appended synchronously to a replicated DataLog, then
+recycled asynchronously in real time through a three-layer log pipeline
+(DataLog -> DeltaLog -> ParityLog) that exploits spatio-temporal locality.
+
+Quick start::
+
+    from repro import ClusterConfig, ECFS, TraceReplayer
+    from repro.traces import tencloud_spec, generate_trace
+
+    ecfs = ECFS(ClusterConfig(k=6, m=4), method="tsue")
+    files = ecfs.populate(n_files=2, stripes_per_file=4)
+    trace = generate_trace(tencloud_spec(), 2000, files,
+                           file_bytes=ecfs.mds.lookup(files[0]).size)
+    result = TraceReplayer(ecfs, trace).run(n_clients=16)
+    ecfs.drain(); ecfs.verify()
+    print(result.iops, ecfs.metrics.latency_stats())
+
+Packages: ``sim`` (discrete-event engine), ``gf``/``ec`` (GF(256) +
+Reed-Solomon), ``storage`` (SSD/HDD models + wear), ``net`` (fabric),
+``cluster`` (ECFS), ``core`` (TSUE log structures), ``update`` (FO, FL, PL,
+PLR, PARIX, CoRD, TSUE), ``traces``, ``metrics``, ``harness`` (one driver
+per paper table/figure).
+"""
+
+from repro.cluster import ClusterConfig, ECFS, RecoveryManager
+from repro.ec import RSCode
+from repro.sim import Environment
+from repro.traces import TraceReplayer, generate_trace
+from repro.update import METHODS, TSUEOptions, make_method
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ECFS",
+    "RecoveryManager",
+    "RSCode",
+    "Environment",
+    "TraceReplayer",
+    "generate_trace",
+    "METHODS",
+    "TSUEOptions",
+    "make_method",
+    "__version__",
+]

@@ -1,0 +1,154 @@
+"""Client: POSIX-ish front end — encoding writes, routed updates, reads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.ids import BlockId
+from repro.common.errors import IntegrityError
+from repro.storage.base import IOKind, IOPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.ecfs import ECFS
+
+__all__ = ["UpdateOp", "Client"]
+
+
+@dataclass
+class UpdateOp:
+    """One update landing on a data block."""
+
+    op_id: int
+    block: BlockId
+    offset: int  # within the block
+    payload: np.ndarray
+    issued_at: float = 0.0
+    client: str = ""
+
+    @property
+    def size(self) -> int:
+        return int(self.payload.shape[0])
+
+
+class Client:
+    """A client node: encodes normal writes, forwards updates (§4.3)."""
+
+    def __init__(self, ecfs: "ECFS", idx: int) -> None:
+        self.ecfs = ecfs
+        self.idx = idx
+        self.name = f"client{idx}"
+        self.env = ecfs.env
+        self._op_counter = 0
+        self._payload_rng = np.random.default_rng(
+            np.random.SeedSequence([ecfs.config.seed, 0xC11E57, idx])
+        )
+
+    # --------------------------------------------------------------- update
+    def update(self, file_id: int, offset: int, size: int) -> Generator:
+        """Process: one update request, returns (latency seconds)."""
+        ecfs = self.ecfs
+        block, in_off = ecfs.mds.locate(file_id, offset, ecfs.rs.k)
+        if in_off + size > ecfs.config.block_size:
+            size = ecfs.config.block_size - in_off  # clamp at block boundary
+        payload = self._payload_rng.integers(0, 256, size, dtype=np.uint8)
+        op = UpdateOp(
+            op_id=self._next_op(),
+            block=block,
+            offset=in_off,
+            payload=payload,
+            issued_at=self.env.now,
+            client=self.name,
+        )
+        primary = ecfs.osd_hosting(block)
+        hdr = ecfs.config.header_bytes
+        yield from ecfs.net.transfer(self.name, primary.name, size + hdr)
+        yield self.env.process(
+            ecfs.method.handle_update(primary, op), name=f"upd{op.op_id}"
+        )
+        yield from ecfs.net.transfer(primary.name, self.name, ecfs.config.ack_bytes)
+        latency = self.env.now - op.issued_at
+        ecfs.metrics.record_update(latency, size)
+        return latency
+
+    # ----------------------------------------------------------------- read
+    def read(self, file_id: int, offset: int, size: int) -> Generator:
+        """Process: read ``size`` bytes (clamped to one block), returns bytes.
+
+        If the block's home OSD is down, falls back to a degraded read
+        (on-the-fly decode from k survivors).
+        """
+        ecfs = self.ecfs
+        block, in_off = ecfs.mds.locate(file_id, offset, ecfs.rs.k)
+        if in_off + size > ecfs.config.block_size:
+            size = ecfs.config.block_size - in_off
+        t0 = self.env.now
+        primary = ecfs.osd_hosting(block)
+        hdr = ecfs.config.header_bytes
+        if primary.failed:
+            from repro.cluster.degraded import degraded_read
+
+            data = yield self.env.process(
+                degraded_read(ecfs, block, in_off, size, self.name),
+                name=f"{self.name}-degraded",
+            )
+            ecfs.metrics.record_read(self.env.now - t0, size)
+            return data
+        yield from ecfs.net.transfer(self.name, primary.name, hdr)
+        data = yield self.env.process(
+            ecfs.method.handle_read(primary, block, in_off, size)
+        )
+        yield from ecfs.net.transfer(primary.name, self.name, size + hdr)
+        ecfs.metrics.record_read(self.env.now - t0, size)
+        return data
+
+    # --------------------------------------------------------- normal write
+    def write_stripe(
+        self, file_id: int, stripe: int, data: Optional[np.ndarray] = None
+    ) -> Generator:
+        """Process: full-stripe write — client-side encode, fan out k+m blocks."""
+        ecfs = self.ecfs
+        bs = ecfs.config.block_size
+        k, m = ecfs.rs.k, ecfs.rs.m
+        if data is None:
+            data = self._payload_rng.integers(0, 256, k * bs, dtype=np.uint8)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape[0] != k * bs:
+            raise IntegrityError(f"stripe write needs {k * bs} bytes")
+        blocks = [data[i * bs : (i + 1) * bs] for i in range(k)]
+        # client-side encode: charge GF work for m parity blocks over k inputs
+        yield self.env.timeout(ecfs.config.costs.gf_mul(k * bs, terms=m))
+        parities = ecfs.rs.encode(blocks)
+
+        sends = []
+        for i, content in enumerate(blocks + parities):
+            bid = BlockId(file_id, stripe, i)
+            sends.append(
+                self.env.process(self._send_block(bid, content), name=f"w{bid}")
+            )
+        yield self.env.all_of(sends)
+        ecfs.mds.mark_written(file_id, stripe * k * bs, k * bs)
+
+    def _send_block(self, bid: BlockId, content: np.ndarray) -> Generator:
+        ecfs = self.ecfs
+        osd = ecfs.osd_hosting(bid)
+        yield from ecfs.net.transfer(
+            self.name, osd.name, content.shape[0] + ecfs.config.header_bytes
+        )
+        yield from osd.io_block(
+            IOKind.WRITE, bid, 0, content.shape[0], IOPriority.FOREGROUND
+        )
+        if bid in osd.store:
+            osd.store.write(bid, 0, content)
+        else:
+            osd.store.create(bid, content)
+        if bid.idx < ecfs.rs.k:
+            ecfs.oracle.apply(bid, 0, content)
+            ecfs.oracle.applied_updates -= 1  # normal writes aren't updates
+        yield from ecfs.net.transfer(osd.name, self.name, ecfs.config.ack_bytes)
+
+    def _next_op(self) -> int:
+        self._op_counter += 1
+        return self.idx * 1_000_000_000 + self._op_counter

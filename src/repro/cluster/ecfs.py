@@ -1,0 +1,160 @@
+"""ECFS facade: builds and wires a whole cluster on one DES environment."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.client import Client
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ids import BlockId
+from repro.cluster.layout import Placement
+from repro.cluster.mds import MDS
+from repro.cluster.osd import OSD
+from repro.cluster.verify import GroundTruth
+from repro.common.errors import ConfigError
+from repro.ec.rs import RSCode
+from repro.metrics.collector import MetricsCollector
+from repro.net.fabric import NetParams, NetworkFabric
+from repro.sim import Environment
+from repro.storage.hdd import HDDevice, HDDParams
+from repro.storage.ssd import SSDevice, SSDParams
+
+__all__ = ["ECFS"]
+
+
+class ECFS:
+    """One simulated deployment: environment + fabric + MDS + OSDs + clients.
+
+    Typical use::
+
+        ecfs = ECFS(ClusterConfig(k=6, m=4), method="tsue")
+        ecfs.populate(n_files=4, stripes_per_file=8)
+        ecfs.add_clients(16)
+        ... replay a trace (repro.traces.replayer) ...
+        ecfs.drain()          # flush logs
+        ecfs.verify()         # every stripe decodes and matches the oracle
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        method: str = "tsue",
+        env: Environment | None = None,
+        net_params: NetParams | None = None,
+        ssd_params: SSDParams | None = None,
+        hdd_params: HDDParams | None = None,
+        method_options: Optional[dict] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.env = env or Environment()
+        self.net = NetworkFabric(self.env, net_params)
+        self.rs = RSCode(self.config.k, self.config.m, self.config.matrix_kind)
+        self.placement = Placement(
+            self.config.n_osds, self.config.k, self.config.m, self.config.log_pools
+        )
+        self.mds = MDS(self.placement, self.config.block_size)
+        self.oracle = GroundTruth(self.config.block_size)
+        self.metrics = MetricsCollector(self.env)
+        self._placement_override: dict[BlockId, int] = {}
+
+        self.osds: list[OSD] = []
+        for i in range(self.config.n_osds):
+            device = self._make_device(i, ssd_params, hdd_params)
+            osd = OSD(self.env, i, device, self.config.block_size)
+            self.osds.append(osd)
+            self.net.add_node(osd.name)
+
+        # update method: import here to avoid a package cycle
+        from repro.update import make_method
+
+        self.method = make_method(method, self, **(method_options or {}))
+        for osd in self.osds:
+            osd.method = self.method
+            self.method.attach(osd)
+        self.method.start_background()
+
+        self.clients: list[Client] = []
+        self._rng = np.random.default_rng(self.config.seed)
+        self.known_blocks: set[BlockId] = set()
+
+    # --------------------------------------------------------------- build
+    def _make_device(self, i: int, ssd_params, hdd_params):
+        if self.config.device == "ssd":
+            return SSDevice(self.env, f"ssd{i}", ssd_params)
+        return HDDevice(self.env, f"hdd{i}", hdd_params)
+
+    def add_clients(self, n: int) -> list[Client]:
+        for _ in range(n):
+            client = Client(self, len(self.clients))
+            self.clients.append(client)
+            self.net.add_node(client.name)
+        return self.clients
+
+    # ------------------------------------------------------------ placement
+    def osd_hosting(self, block: BlockId) -> OSD:
+        override = self._placement_override.get(block)
+        idx = override if override is not None else self.placement.osd_of(block)
+        return self.osds[idx]
+
+    def rehome_block(self, block: BlockId, osd_idx: int) -> None:
+        """Recovery: record that a rebuilt block now lives on ``osd_idx``."""
+        self._placement_override[block] = osd_idx
+
+    # ------------------------------------------------------------- populate
+    def populate(
+        self, n_files: int, stripes_per_file: int, fill: str = "random"
+    ) -> list[int]:
+        """Instantly create and place files (no simulated time) so trace
+        replay starts from a fully-written state.  ``fill`` is "random"
+        (parity computed, stronger verification) or "zeros" (fast)."""
+        if fill not in ("random", "zeros"):
+            raise ConfigError(f"unknown fill {fill!r}")
+        bs = self.config.block_size
+        k, m = self.rs.k, self.rs.m
+        file_ids = []
+        for _ in range(n_files):
+            meta = self.mds.create_file(stripes_per_file * k * bs)
+            file_ids.append(meta.file_id)
+            for s in range(stripes_per_file):
+                if fill == "random":
+                    data = [
+                        self._rng.integers(0, 256, bs, dtype=np.uint8)
+                        for _ in range(k)
+                    ]
+                    parity = self.rs.encode(data)
+                else:
+                    data = [np.zeros(bs, dtype=np.uint8) for _ in range(k)]
+                    parity = [np.zeros(bs, dtype=np.uint8) for _ in range(m)]
+                for i, content in enumerate(data + parity):
+                    bid = BlockId(meta.file_id, s, i)
+                    osd = self.osd_hosting(bid)
+                    osd.store.create(bid, content)
+                    self.known_blocks.add(bid)
+                    if i < k:
+                        self.oracle.apply(bid, 0, content)
+                        self.oracle.applied_updates -= 1
+            self.mds.mark_written(meta.file_id, 0, meta.size)
+        return file_ids
+
+    # ----------------------------------------------------------- execution
+    def run(self, until=None):
+        return self.env.run(until)
+
+    def drain(self) -> None:
+        """Flush every outstanding log (runs simulated time)."""
+        proc = self.env.process(self.method.flush(), name="drain")
+        self.env.run(proc)
+
+    def verify(self) -> int:
+        """Check every touched stripe against the oracle; returns count."""
+        return self.oracle.verify_cluster(self, self.rs)
+
+    # ------------------------------------------------------------- metrics
+    def total_log_debt(self) -> int:
+        return sum(self.method.log_debt_bytes(osd) for osd in self.osds)
+
+    def method_memory(self) -> int:
+        return sum(self.method.memory_bytes(osd) for osd in self.osds)

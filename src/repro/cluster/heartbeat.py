@@ -1,0 +1,89 @@
+"""Heartbeat-driven failure detection (§4: OSDs send periodic heartbeats;
+the MDS initiates recovery when one goes silent).
+
+:class:`HeartbeatService` runs one sender process per OSD and one monitor
+process at the MDS.  A failed OSD stops heartbeating (its sender exits on
+the node's failure flag); after ``timeout`` silent seconds the MDS declares
+it failed and fires the recovery callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.ecfs import ECFS
+
+__all__ = ["HeartbeatService"]
+
+_HEARTBEAT_BYTES = 64
+
+
+class HeartbeatService:
+    """Periodic OSD heartbeats + MDS liveness monitor on the DES."""
+
+    def __init__(
+        self,
+        ecfs: "ECFS",
+        interval: float = 1.0,
+        timeout: float = 3.5,
+        on_failure: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if interval <= 0 or timeout <= interval:
+            raise ValueError("need 0 < interval < timeout")
+        self.ecfs = ecfs
+        self.interval = interval
+        self.timeout = timeout
+        self.detected: list[tuple[int, float]] = []  # (osd idx, detect time)
+        self._user_callback = on_failure
+        self._procs: list = []
+        ecfs.mds.heartbeat_timeout = timeout
+        ecfs.mds.on_failure = self._on_failure
+        if "mds" not in ecfs.net.nics:
+            ecfs.net.add_node("mds")
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        env = self.ecfs.env
+        for osd in self.ecfs.osds:
+            self.ecfs.mds.heartbeat(osd.idx, env.now)
+            self._procs.append(
+                env.process(self._sender(osd), name=f"hb-{osd.name}")
+            )
+        self._procs.append(env.process(self._monitor(), name="hb-monitor"))
+
+    def stop(self) -> None:
+        for proc in self._procs:
+            proc.interrupt("heartbeat-service-stopped")
+        self._procs.clear()
+
+    # ------------------------------------------------------------ processes
+    def _sender(self, osd) -> Generator:
+        env = self.ecfs.env
+        from repro.sim import Interrupt
+
+        try:
+            while not osd.failed:
+                yield env.timeout(self.interval)
+                if osd.failed:
+                    return
+                yield from self.ecfs.net.transfer(osd.name, "mds", _HEARTBEAT_BYTES)
+                self.ecfs.mds.heartbeat(osd.idx, env.now)
+        except Interrupt:
+            return
+
+    def _monitor(self) -> Generator:
+        env = self.ecfs.env
+        from repro.sim import Interrupt
+
+        try:
+            while True:
+                yield env.timeout(self.interval)
+                self.ecfs.mds.check_liveness(env.now)
+        except Interrupt:
+            return
+
+    def _on_failure(self, osd_idx: int) -> None:
+        self.detected.append((osd_idx, self.ecfs.env.now))
+        if self._user_callback is not None:
+            self._user_callback(osd_idx)

@@ -1,0 +1,114 @@
+"""Metadata server: namespace, block locations, write/update classification.
+
+Per §4.3 the MDS keeps a page-level bitmap per file; an incoming write whose
+pages are all already-written is classified as an *update* (routed to the
+data OSD's update path), otherwise as a *normal write* (client-side encode +
+full-stripe placement).  The MDS also watches OSD heartbeats and triggers
+recovery when one goes silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.ids import BlockId
+from repro.cluster.layout import Placement
+from repro.common.errors import IntegrityError
+
+__all__ = ["FileMeta", "MDS"]
+
+_PAGE = 4096
+
+
+@dataclass
+class FileMeta:
+    file_id: int
+    size: int
+    written: np.ndarray  # page bitmap
+
+    def pages(self, offset: int, size: int) -> slice:
+        return slice(offset // _PAGE, -(-(offset + size) // _PAGE))
+
+
+class MDS:
+    """Namespace + placement oracle + heartbeat monitor."""
+
+    def __init__(self, placement: Placement, block_size: int) -> None:
+        self.placement = placement
+        self.block_size = block_size
+        self.files: dict[int, FileMeta] = {}
+        self._next_file_id = 1
+        self.heartbeats: dict[int, float] = {}
+        self.failed: set[int] = set()
+        self.on_failure: Optional[Callable[[int], None]] = None
+        self.heartbeat_timeout = 5.0
+
+    # ----------------------------------------------------------- namespace
+    def create_file(self, size: int) -> FileMeta:
+        if size <= 0:
+            raise IntegrityError("file size must be positive")
+        fid = self._next_file_id
+        self._next_file_id += 1
+        npages = -(-size // _PAGE)
+        meta = FileMeta(fid, size, np.zeros(npages, dtype=bool))
+        self.files[fid] = meta
+        return meta
+
+    def lookup(self, file_id: int) -> FileMeta:
+        try:
+            return self.files[file_id]
+        except KeyError:
+            raise IntegrityError(f"no such file {file_id}") from None
+
+    def classify(self, file_id: int, offset: int, size: int) -> str:
+        """"update" if every touched page was written before, else "write"."""
+        meta = self.lookup(file_id)
+        if offset + size > meta.size:
+            raise IntegrityError(
+                f"write [{offset}, {offset + size}) beyond file size {meta.size}"
+            )
+        pages = meta.pages(offset, size)
+        return "update" if bool(meta.written[pages].all()) else "write"
+
+    def mark_written(self, file_id: int, offset: int, size: int) -> None:
+        meta = self.lookup(file_id)
+        meta.written[meta.pages(offset, size)] = True
+
+    # ------------------------------------------------------------ location
+    def locate(self, file_id: int, offset: int, k: int) -> tuple[BlockId, int]:
+        """Map a file byte offset to (data BlockId, in-block offset)."""
+        meta = self.lookup(file_id)
+        if offset >= meta.size:
+            raise IntegrityError(f"offset {offset} beyond EOF {meta.size}")
+        stripe_bytes = k * self.block_size
+        stripe = offset // stripe_bytes
+        within = offset % stripe_bytes
+        idx = within // self.block_size
+        return BlockId(file_id, stripe, idx), within % self.block_size
+
+    def n_stripes(self, file_id: int, k: int) -> int:
+        meta = self.lookup(file_id)
+        return -(-meta.size // (k * self.block_size))
+
+    # ----------------------------------------------------------- liveness
+    def heartbeat(self, osd_idx: int, now: float) -> None:
+        self.heartbeats[osd_idx] = now
+
+    def check_liveness(self, now: float) -> list[int]:
+        """Return OSDs newly declared failed; fires ``on_failure`` for each."""
+        newly = [
+            idx
+            for idx, last in self.heartbeats.items()
+            if idx not in self.failed and now - last > self.heartbeat_timeout
+        ]
+        for idx in newly:
+            self.failed.add(idx)
+            if self.on_failure is not None:
+                self.on_failure(idx)
+        return newly
+
+    def declare_failed(self, osd_idx: int) -> None:
+        self.failed.add(osd_idx)

@@ -1,0 +1,35 @@
+"""Shared constants, unit helpers, and error types."""
+
+from repro.common.errors import (
+    ConfigError,
+    DecodeError,
+    IntegrityError,
+    ReproError,
+)
+from repro.common.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    Gbps,
+    fmt_bytes,
+    fmt_time,
+)
+
+__all__ = [
+    "ConfigError",
+    "DecodeError",
+    "IntegrityError",
+    "ReproError",
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "Gbps",
+    "fmt_bytes",
+    "fmt_time",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "ConfigError", "DecodeError", "IntegrityError"]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration (bad RS parameters, negative sizes, ...)."""
+
+
+class DecodeError(ReproError):
+    """Erasure decoding impossible (too many erasures / singular matrix)."""
+
+
+class IntegrityError(ReproError):
+    """A consistency check failed (stripe does not verify, stale data...)."""

@@ -1,0 +1,57 @@
+"""Byte/bandwidth unit constants and formatting helpers.
+
+Decimal units (KB/MB/GB) follow the paper's usage for capacities and traffic;
+binary units (KiB/MiB/GiB) are used for device geometry (pages, log units).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "Gbps",
+    "fmt_bytes",
+    "fmt_time",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def Gbps(n: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return n * 1e9 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration: picks ns/us/ms/s."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,210 @@
+"""Extent maps: the offset-level (second-level) index of a log unit.
+
+An :class:`ExtentMap` stores non-overlapping, offset-sorted byte extents for
+one block.  Inserting a new record exploits spatio-temporal locality exactly
+as §3.3.2 prescribes:
+
+* **temporal** — a record overlapping an existing extent merges with it:
+  with :attr:`MergePolicy.OVERWRITE` the new bytes replace the old (Eq. 4:
+  only the latest update of an address matters); with :attr:`MergePolicy.XOR`
+  the overlap is XOR-combined (Eq. 3: deltas compose additively);
+* **spatial** — extents that touch end-to-start are coalesced into one
+  larger extent, turning many small random I/Os into one larger I/O at
+  recycle time.
+
+The map records how many raw records were absorbed so recycle-reduction
+statistics (requests merged away, bytes coalesced) fall out for free.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["MergePolicy", "Extent", "ExtentMap"]
+
+
+class MergePolicy(enum.Enum):
+    """How overlapping byte ranges combine."""
+
+    OVERWRITE = "overwrite"  # DataLog: newest data wins
+    XOR = "xor"  # DeltaLog / ParityLog: deltas accumulate
+
+
+@dataclass
+class Extent:
+    """A contiguous run of bytes at ``start`` (payload length = size)."""
+
+    start: int
+    data: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.start + self.data.shape[0]
+
+    @property
+    def size(self) -> int:
+        return int(self.data.shape[0])
+
+    def __repr__(self) -> str:
+        return f"Extent[{self.start}, {self.end})"
+
+
+class ExtentMap:
+    """Sorted, non-overlapping extents for one block with merge-on-insert."""
+
+    def __init__(self, policy: MergePolicy = MergePolicy.OVERWRITE) -> None:
+        self.policy = policy
+        self._starts: list[int] = []
+        self._extents: list[Extent] = []
+        self.records_absorbed = 0
+        self.bytes_absorbed = 0
+
+    # ------------------------------------------------------------------ API
+    def insert(self, offset: int, data: np.ndarray) -> None:
+        """Insert a record; merges overlaps per policy and coalesces adjacency."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 1 or data.shape[0] == 0:
+            raise ValueError("record payload must be a non-empty 1-D array")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self.records_absorbed += 1
+        self.bytes_absorbed += data.shape[0]
+
+        new = Extent(offset, data.copy())
+        lo, hi = self._overlap_range(new.start, new.end)
+        if lo == hi:
+            self._insert_at(lo, new)
+        else:
+            merged = self._merge(self._extents[lo:hi], new)
+            del self._starts[lo:hi]
+            del self._extents[lo:hi]
+            self._insert_at(lo, merged)
+        self._coalesce_around(self._index_of(new.start if lo == hi else merged.start))
+
+    def lookup(self, offset: int, size: int) -> Optional[np.ndarray]:
+        """Return bytes iff [offset, offset+size) is fully covered by ONE
+        extent (the read-cache hit path); None otherwise."""
+        if size <= 0:
+            return None
+        i = bisect_right(self._starts, offset) - 1
+        if i < 0:
+            return None
+        ext = self._extents[i]
+        if ext.start <= offset and offset + size <= ext.end:
+            rel = offset - ext.start
+            return ext.data[rel : rel + size].copy()
+        return None
+
+    def covers_any(self, offset: int, size: int) -> bool:
+        """True if any byte of the range is present (staleness check)."""
+        lo, hi = self._overlap_range(offset, offset + size)
+        return lo != hi
+
+    def uncovered(self, offset: int, size: int) -> list[tuple[int, int]]:
+        """Sub-ranges of [offset, offset+size) NOT covered by any extent,
+        as (offset, size) pairs in ascending order."""
+        if size <= 0:
+            return []
+        end = offset + size
+        gaps: list[tuple[int, int]] = []
+        cursor = offset
+        lo, hi = self._overlap_range(offset, end)
+        for ext in self._extents[lo:hi]:
+            if ext.start > cursor:
+                gaps.append((cursor, ext.start - cursor))
+            cursor = max(cursor, ext.end)
+        if cursor < end:
+            gaps.append((cursor, end - cursor))
+        return gaps
+
+    def read_range(self, offset: int, size: int) -> Optional[np.ndarray]:
+        """Bytes of [offset, offset+size) if FULLY covered (possibly by
+        several extents); None if any byte is missing."""
+        if self.uncovered(offset, size):
+            return None
+        out = np.zeros(size, dtype=np.uint8)
+        lo, hi = self._overlap_range(offset, offset + size)
+        for ext in self._extents[lo:hi]:
+            s = max(ext.start, offset)
+            e = min(ext.end, offset + size)
+            out[s - offset : e - offset] = ext.data[s - ext.start : e - ext.start]
+        return out
+
+    def extents(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(e.size for e in self._extents)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """raw records in / extents out — the recycle-savings factor."""
+        return self.records_absorbed / max(1, len(self._extents))
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._extents.clear()
+        self.records_absorbed = 0
+        self.bytes_absorbed = 0
+
+    # ------------------------------------------------------------ internals
+    def _overlap_range(self, start: int, end: int) -> tuple[int, int]:
+        """Index range of extents overlapping [start, end)."""
+        lo = bisect_right(self._starts, start) - 1
+        if lo < 0 or self._extents[lo].end <= start:
+            lo += 1
+        hi = bisect_left(self._starts, end)
+        return lo, hi
+
+    def _merge(self, olds: list[Extent], new: Extent) -> Extent:
+        """Combine overlapping extents + new record into one extent."""
+        start = min(new.start, olds[0].start)
+        end = max(new.end, olds[-1].end)
+        if self.policy is MergePolicy.OVERWRITE:
+            buf = np.zeros(end - start, dtype=np.uint8)
+            for old in olds:  # old data first, new data wins on top
+                buf[old.start - start : old.end - start] = old.data
+            buf[new.start - start : new.end - start] = new.data
+        else:  # XOR composition
+            buf = np.zeros(end - start, dtype=np.uint8)
+            for old in olds:
+                buf[old.start - start : old.end - start] ^= old.data
+            buf[new.start - start : new.end - start] ^= new.data
+        return Extent(start, buf)
+
+    def _insert_at(self, i: int, ext: Extent) -> None:
+        self._starts.insert(i, ext.start)
+        self._extents.insert(i, ext)
+
+    def _index_of(self, start: int) -> int:
+        i = bisect_left(self._starts, start)
+        assert self._starts[i] == start
+        return i
+
+    def _coalesce_around(self, i: int) -> None:
+        """Merge extent i with byte-adjacent neighbours (spatial locality)."""
+        # merge with left neighbour
+        while i > 0 and self._extents[i - 1].end == self._extents[i].start:
+            left, right = self._extents[i - 1], self._extents[i]
+            joined = Extent(left.start, np.concatenate([left.data, right.data]))
+            self._starts[i - 1 : i + 1] = [joined.start]
+            self._extents[i - 1 : i + 1] = [joined]
+            i -= 1
+        # merge with right neighbour
+        while (
+            i + 1 < len(self._extents)
+            and self._extents[i].end == self._extents[i + 1].start
+        ):
+            left, right = self._extents[i], self._extents[i + 1]
+            joined = Extent(left.start, np.concatenate([left.data, right.data]))
+            self._starts[i : i + 2] = [joined.start]
+            self._extents[i : i + 2] = [joined]

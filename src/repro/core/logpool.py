@@ -1,0 +1,231 @@
+"""FIFO log pool (§3.2): unit rotation, quota backpressure, read cache.
+
+A pool owns a FIFO queue of :class:`LogUnit`.  The *active* unit (queue tail)
+takes appends; when full it is sealed (-> RECYCLABLE) and handed to the
+recycler through :attr:`recyclable`.  A new active unit is obtained by
+reusing the oldest RECYCLED unit — whose retained index stops serving as a
+read cache at that moment — or by allocating a fresh unit while the pool is
+below its quota.  When neither is possible the append **waits**: this
+backpressure is the mechanism behind Fig. 6a (a 2-unit quota starves updates
+because appends stall until recycling frees a unit).
+
+The pool can also *shrink*: :meth:`trim` drops RECYCLED units above
+``min_units`` when the workload is idle, releasing memory (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Hashable, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.core.intervals import MergePolicy
+from repro.core.logunit import LogUnit, LogUnitState
+from repro.sim import Environment, Event, Store
+
+__all__ = ["LogPool"]
+
+
+class LogPool:
+    """One log pool: FIFO unit queue + quota + read-cache lookups."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        unit_size: int,
+        policy: MergePolicy,
+        min_units: int = 2,
+        max_units: int = 4,
+        block_size: int = 0,
+        merge: bool = True,
+    ) -> None:
+        if min_units < 1 or max_units < min_units:
+            raise ConfigError(
+                f"quota must satisfy 1 <= min ({min_units}) <= max ({max_units})"
+            )
+        self.env = env
+        self.name = name
+        self.unit_size = unit_size
+        self.policy = policy
+        self.min_units = min_units
+        self.max_units = max_units
+        self.block_size = block_size
+        self.merge = merge
+
+        self._next_unit_id = 0
+        self.units: deque[LogUnit] = deque()
+        self.active = self._new_unit()
+        self.units.append(self.active)
+
+        #: sealed units for the recycler (a DES Store, so recyclers block on get)
+        self.recyclable: Store = Store(env)
+        self._space_waiters: list[Event] = []
+
+        # statistics
+        self.appends = 0
+        self.append_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.stall_time = 0.0
+        self.stalls = 0
+        self.peak_units = 1
+        self.residence: list[tuple[float, float]] = []  # (buffer s, recycle s)
+
+    # ------------------------------------------------------------------ API
+    def append(
+        self, block: Hashable, offset: int, data: np.ndarray
+    ) -> Generator:
+        """Process generator: append a record, waiting for space if needed."""
+        data = np.asarray(data, dtype=np.uint8)
+        nbytes = int(data.shape[0])
+        if nbytes > self.unit_size:
+            raise ConfigError(
+                f"record of {nbytes}B exceeds unit size {self.unit_size}B"
+            )
+        # The active pointer may reference a SEALED unit when the quota was
+        # exhausted (acquire failed); state must be checked alongside space
+        # or a smaller record could sneak into a RECYCLABLE unit.
+        while (
+            self.active.state is not LogUnitState.EMPTY
+            or not self.active.fits(nbytes)
+        ):
+            if self.active.state is LogUnitState.EMPTY:
+                self._seal_active()
+            if not self._acquire_active():
+                t0 = self.env.now
+                waiter = self.env.event()
+                self._space_waiters.append(waiter)
+                self.stalls += 1
+                yield waiter
+                self.stall_time += self.env.now - t0
+        self.active.append(block, offset, data, self.env.now)
+        self.appends += 1
+        self.append_bytes += nbytes
+
+    def lookup(self, block: Hashable, offset: int, size: int) -> Optional[np.ndarray]:
+        """Read-cache query over all units, newest first (§3.3.3)."""
+        for unit in reversed(self.units):
+            hit = unit.index.lookup(block, offset, size)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        self.cache_misses += 1
+        return None
+
+    def covers_any(self, block: Hashable, offset: int, size: int) -> bool:
+        return any(u.index.covers_any(block, offset, size) for u in self.units)
+
+    def overlay(
+        self, block: Hashable, offset: int, size: int, buf: np.ndarray
+    ) -> np.ndarray:
+        """Apply any logged (newer) bytes of ``block`` onto ``buf`` — the
+        partial-hit read path ensuring no stale data is returned (§3.3.3).
+        Units are applied oldest to newest so later records win."""
+        end = offset + size
+        for unit in self.units:
+            emap = unit.index.extent_map(block)
+            if emap is None:
+                continue
+            for ext in emap.extents():
+                s = max(ext.start, offset)
+                e = min(ext.end, end)
+                if s < e:
+                    buf[s - offset : e - offset] = ext.data[s - ext.start : e - ext.start]
+        return buf
+
+    def seal_active_if_dirty(self) -> None:
+        """Force-seal a non-empty active unit (flush/drain path).
+
+        The active pointer may already reference a sealed unit when the
+        quota is exhausted (single-unit pools) — nothing to do then.
+        """
+        if self.active.state is LogUnitState.EMPTY and self.active.used > 0:
+            self._seal_active()
+            self._acquire_active()
+
+    def unit_recycled(self, unit: LogUnit) -> None:
+        """Recycler callback: unit finished; record stats and wake waiters."""
+        unit.finish_recycle(self.env.now)
+        buf = unit.buffer_interval or 0.0
+        rec = unit.recycle_interval or 0.0
+        self.residence.append((buf, rec))
+        if self._space_waiters and self._acquire_active():
+            for waiter in self._space_waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+            self._space_waiters.clear()
+
+    def trim(self) -> int:
+        """Drop RECYCLED units above ``min_units``; returns units freed."""
+        freed = 0
+        while len(self.units) > self.min_units:
+            victim = None
+            for u in self.units:
+                if u.state is LogUnitState.RECYCLED:
+                    victim = u
+                    break
+            if victim is None:
+                break
+            self.units.remove(victim)
+            freed += 1
+        return freed
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Memory footprint: every resident unit reserves its full buffer."""
+        return len(self.units) * self.unit_size
+
+    @property
+    def backlog(self) -> int:
+        """Units sealed but not yet recycled."""
+        return sum(
+            1
+            for u in self.units
+            if u.state in (LogUnitState.RECYCLABLE, LogUnitState.RECYCLING)
+        )
+
+    # ------------------------------------------------------------ internals
+    def _new_unit(self) -> LogUnit:
+        unit = LogUnit(
+            self._next_unit_id,
+            self.unit_size,
+            self.policy,
+            self.block_size,
+            merge=self.merge,
+        )
+        self._next_unit_id += 1
+        return unit
+
+    def _seal_active(self) -> None:
+        if self.active.state is not LogUnitState.EMPTY:
+            raise IntegrityError("active unit is not appendable")
+        self.active.seal(self.env.now)
+        self.recyclable.put(self.active)
+
+    def _acquire_active(self) -> bool:
+        """Find/allocate an EMPTY unit and move it to the tail; False if the
+        quota is exhausted and nothing is RECYCLED yet."""
+        if self.active.state is LogUnitState.EMPTY and self.active.used == 0:
+            return True  # already have a fresh active (racing waiters)
+        for u in self.units:
+            if u.state is LogUnitState.RECYCLED:
+                u.reuse()
+                self.units.remove(u)
+                self.units.append(u)
+                self.active = u
+                return True
+        if len(self.units) < self.max_units:
+            unit = self._new_unit()
+            self.units.append(unit)
+            self.active = unit
+            self.peak_units = max(self.peak_units, len(self.units))
+            return True
+        return False

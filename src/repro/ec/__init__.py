@@ -1,0 +1,33 @@
+"""Reed-Solomon erasure coding and incremental (delta) update math.
+
+Implements Equation (1) of the paper (parity generation via a GF(256)
+coding matrix), erasure recovery via matrix inversion, and the incremental
+update identities:
+
+* Eq. (2): ``P' = P + a_ij * (D' - D)`` — single parity delta,
+* Eq. (3)/(4): repeated updates at one address collapse to the latest,
+* Eq. (5): deltas from several data blocks at the same stripe offset merge
+  into one parity delta per parity block.
+"""
+
+from repro.ec.matrices import cauchy_matrix, coding_matrix, vandermonde_matrix
+from repro.ec.rs import RSCode
+from repro.ec.incremental import (
+    apply_parity_delta,
+    data_delta,
+    merge_deltas_same_address,
+    parity_delta,
+    stripe_parity_delta,
+)
+
+__all__ = [
+    "RSCode",
+    "cauchy_matrix",
+    "coding_matrix",
+    "vandermonde_matrix",
+    "data_delta",
+    "parity_delta",
+    "apply_parity_delta",
+    "merge_deltas_same_address",
+    "stripe_parity_delta",
+]

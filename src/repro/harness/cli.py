@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig5 [--scale full]  # regenerate Fig. 5
+    python -m repro table1
+    python -m repro all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable
+
+from repro.harness import fig1, fig5, fig6, fig7, fig8, table1, table2
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable[[], tuple[str, dict]]] = {
+    "fig1": lambda: fig1.run(),
+    "fig5": lambda: fig5.run(),
+    "fig6a": lambda: fig6.run_fig6a(),
+    "fig6b": lambda: fig6.run_fig6b(),
+    "fig7": lambda: fig7.run(),
+    "fig8a": lambda: fig8.run_fig8a(),
+    "fig8b": lambda: fig8.run_fig8b(),
+    "table1": lambda: table1.run(),
+    "table2": lambda: table2.run(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the TSUE paper's tables and figures "
+        "on the simulated cluster.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="artifact to regenerate ('all' runs everything, 'list' enumerates)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env or 'quick')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        t0 = time.time()
+        text, _data = EXPERIMENTS[name]()
+        print(text)
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Measurement: request metrics, I/O workload aggregation, lifespan, tables."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.workload import WorkloadReport, aggregate_workload
+from repro.metrics.lifespan import lifespan_ratios
+from repro.metrics.tables import format_series, format_table
+
+__all__ = [
+    "MetricsCollector",
+    "WorkloadReport",
+    "aggregate_workload",
+    "lifespan_ratios",
+    "format_series",
+    "format_table",
+]

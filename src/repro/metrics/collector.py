@@ -1,0 +1,83 @@
+"""Per-run request metrics: latency distributions and IOPS time series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MetricsCollector"]
+
+
+@dataclass
+class _OpSeries:
+    latencies: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    bytes: int = 0
+
+    def record(self, now: float, latency: float, size: int) -> None:
+        self.latencies.append(latency)
+        self.times.append(now)
+        self.bytes += size
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+
+class MetricsCollector:
+    """Collects completion events; derives IOPS/latency statistics."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.updates = _OpSeries()
+        self.reads = _OpSeries()
+
+    # ------------------------------------------------------------- recording
+    def record_update(self, latency: float, size: int) -> None:
+        self.updates.record(self.env.now, latency, size)
+
+    def record_read(self, latency: float, size: int) -> None:
+        self.reads.record(self.env.now, latency, size)
+
+    # -------------------------------------------------------------- analysis
+    def aggregate_iops(self, kind: str = "updates") -> float:
+        """Completed ops per second over the active span."""
+        series = getattr(self, kind)
+        if series.count < 2:
+            return float(series.count)
+        span = series.times[-1] - series.times[0]
+        return series.count / span if span > 0 else float(series.count)
+
+    def iops_series(self, window: float = 1.0, kind: str = "updates") -> tuple[np.ndarray, np.ndarray]:
+        """(window centers, IOPS per window) — Fig. 6a's time series."""
+        series = getattr(self, kind)
+        if not series.times:
+            return np.array([]), np.array([])
+        t = np.asarray(series.times)
+        t0, t1 = t.min(), t.max()
+        nbins = max(1, int(np.ceil((t1 - t0) / window)))
+        edges = t0 + np.arange(nbins + 1) * window
+        counts, _ = np.histogram(t, bins=edges)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, counts / window
+
+    def latency_stats(self, kind: str = "updates") -> dict[str, float]:
+        series = getattr(self, kind)
+        if not series.latencies:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        lat = np.asarray(series.latencies)
+        return {
+            "count": float(lat.shape[0]),
+            "mean": float(lat.mean()),
+            "p50": float(np.percentile(lat, 50)),
+            "p99": float(np.percentile(lat, 99)),
+            "max": float(lat.max()),
+        }
+
+    def throughput_bytes(self, kind: str = "updates") -> float:
+        series = getattr(self, kind)
+        if series.count < 2:
+            return 0.0
+        span = series.times[-1] - series.times[0]
+        return series.bytes / span if span > 0 else 0.0

@@ -1,0 +1,63 @@
+"""Plain-text table/series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    floatfmt: str = "{:,.2f}",
+) -> str:
+    """Render {row label: {column: value}} as an aligned text table."""
+    if not rows:
+        return title
+    columns: list[str] = []
+    for cols in rows.values():
+        for c in cols:
+            if c not in columns:
+                columns.append(c)
+    widths = {c: len(c) for c in columns}
+    label_w = max(len(r) for r in rows)
+    cells: dict[str, dict[str, str]] = {}
+    for r, cols in rows.items():
+        cells[r] = {}
+        for c in columns:
+            v = cols.get(c)
+            if v is None:
+                s = "-"
+            elif isinstance(v, float):
+                s = floatfmt.format(v)
+            else:
+                s = f"{v:,}"
+            cells[r][c] = s
+            widths[c] = max(widths[c], len(s))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_w + " | " + " | ".join(c.rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            r.ljust(label_w)
+            + " | "
+            + " | ".join(cells[r][c].rjust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float], ys: Sequence[float], xlabel: str, ylabel: str, title: str = ""
+) -> str:
+    """Two-column series dump (one line per sample)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{xlabel:>16} {ylabel:>16}")
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:16.3f} {y:16.3f}")
+    return "\n".join(lines)

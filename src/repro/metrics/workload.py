@@ -1,0 +1,66 @@
+"""Cluster-wide I/O workload aggregation — the rows of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.osd import OSD
+    from repro.net.fabric import NetworkFabric
+
+__all__ = ["WorkloadReport", "aggregate_workload"]
+
+
+@dataclass
+class WorkloadReport:
+    """READ/WRITE + OVERWRITE + NETWORK columns, as the paper reports them."""
+
+    rw_ops: int
+    rw_bytes: int
+    overwrite_ops: int
+    overwrite_bytes: int
+    network_bytes: int
+    seq_ops: int
+    rand_ops: int
+    page_programs: float
+    total_erases: float
+
+    def row(self) -> dict[str, float]:
+        return {
+            "READ/WRITE Num.": self.rw_ops,
+            "READ/WRITE Volume (GB)": self.rw_bytes / 1e9,
+            "OVERWRITE Num.": self.overwrite_ops,
+            "OVERWRITE Volume (GB)": self.overwrite_bytes / 1e9,
+            "NETWORK TRAFFIC (GB)": self.network_bytes / 1e9,
+        }
+
+
+def aggregate_workload(osds: Iterable["OSD"], net: "NetworkFabric") -> WorkloadReport:
+    """Sum device counters across the cluster into one report."""
+    rw_ops = rw_bytes = ow_ops = ow_bytes = seq = rand = 0
+    programs = erases = 0.0
+    for osd in osds:
+        c = osd.device.counters
+        rw_ops += c.reads + c.writes
+        rw_bytes += c.read_bytes + c.write_bytes
+        ow_ops += c.overwrites
+        ow_bytes += c.overwrite_bytes
+        seq += c.seq_ops
+        rand += c.rand_ops
+        wear = getattr(osd.device, "wear", None)
+        if wear is not None:
+            wear.flush()
+            programs += wear.page_programs
+            erases += wear.total_erases
+    return WorkloadReport(
+        rw_ops=rw_ops,
+        rw_bytes=rw_bytes,
+        overwrite_ops=ow_ops,
+        overwrite_bytes=ow_bytes,
+        network_bytes=net.total_bytes,
+        seq_ops=seq,
+        rand_ops=rand,
+        page_programs=programs,
+        total_erases=erases,
+    )

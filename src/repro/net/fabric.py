@@ -1,0 +1,112 @@
+"""NIC + switch fabric on the DES."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.common.units import Gbps
+from repro.sim import Environment, Resource
+
+__all__ = ["NetParams", "NIC", "NetworkFabric"]
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """Endpoint and fabric parameters.
+
+    Defaults model the paper's SSD testbed: 25 Gb/s Ethernet, ~10 us
+    one-way port-to-port latency, full-duplex NICs.
+    """
+
+    bandwidth: float = Gbps(25)  # bytes/second per NIC direction
+    latency: float = 10e-6  # one-way propagation + switching
+    per_message_overhead: float = 2e-6  # stack/serialization cost
+
+    def validate(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0 or self.per_message_overhead < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+class NIC:
+    """Full-duplex endpoint: independent TX and RX serializers."""
+
+    def __init__(self, env: Environment, name: str, params: NetParams) -> None:
+        self.env = env
+        self.name = name
+        self.params = params
+        self.tx = Resource(env, capacity=1)
+        self.rx = Resource(env, capacity=1)
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_msgs = 0
+        self.rx_msgs = 0
+
+
+class NetworkFabric:
+    """Registry of NICs plus the transfer primitive.
+
+    ``transfer(src, dst, nbytes)`` is a process generator modelling a one-way
+    message: serialize out of ``src``'s TX at link rate, cross the switch
+    (latency), land in ``dst``'s RX at link rate (store-and-forward; the two
+    serializations overlap in reality, so only the slower endpoint charges
+    full transfer time — here symmetric rates, so we charge TX fully and RX
+    nominally to model full-duplex pipelining without double-counting time).
+    """
+
+    def __init__(self, env: Environment, params: NetParams | None = None) -> None:
+        self.env = env
+        self.params = params or NetParams()
+        self.params.validate()
+        self.nics: dict[str, NIC] = {}
+        self.total_bytes = 0
+        self.total_msgs = 0
+
+    def add_node(self, name: str) -> NIC:
+        if name in self.nics:
+            raise ValueError(f"node {name!r} already registered")
+        nic = NIC(self.env, name, self.params)
+        self.nics[name] = nic
+        return nic
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+        """Move ``nbytes`` from ``src`` to ``dst``; yields until delivered."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if src == dst:
+            return  # local move: no network cost, no accounting
+        p = self.params
+        src_nic = self._nic(src)
+        dst_nic = self._nic(dst)
+        wire_time = nbytes / p.bandwidth
+
+        with src_nic.tx.request() as tx:
+            yield tx
+            yield self.env.timeout(p.per_message_overhead + wire_time)
+        # Propagation through the fabric.
+        yield self.env.timeout(p.latency)
+        # Receiver-side occupancy: the RX port is busy for the wire time too
+        # (it cannot accept two full-rate flows at once).
+        with dst_nic.rx.request() as rx:
+            yield rx
+            yield self.env.timeout(wire_time)
+
+        src_nic.tx_bytes += nbytes
+        src_nic.tx_msgs += 1
+        dst_nic.rx_bytes += nbytes
+        dst_nic.rx_msgs += 1
+        self.total_bytes += nbytes
+        self.total_msgs += 1
+
+    def rpc(self, src: str, dst: str, request_bytes: int, reply_bytes: int) -> Generator:
+        """Round trip: request then reply (used for read-old-data fetches)."""
+        yield from self.transfer(src, dst, request_bytes)
+        yield from self.transfer(dst, src, reply_bytes)
+
+    def _nic(self, name: str) -> NIC:
+        try:
+            return self.nics[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None

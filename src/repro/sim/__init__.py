@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine.
+
+A compact, dependency-free process-based DES in the style of SimPy: processes
+are Python generators that ``yield`` events; the :class:`Environment` advances
+a virtual clock along an event heap.  The engine provides the primitives the
+cluster model needs:
+
+* :class:`Event` / :class:`Timeout` / :class:`Process` — core event types,
+* :class:`AllOf` / :class:`AnyOf` — condition events for fan-out/fan-in,
+* :class:`Resource` / :class:`PriorityResource` — queued mutual exclusion used
+  to model storage devices and NICs,
+* :class:`Store` — producer/consumer queue used for mailboxes and pipelines,
+* :class:`Interrupt` — cooperative cancellation (used by failure injection).
+
+All simulated time is in **seconds** (float).
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,382 @@
+"""Core of the discrete-event engine: events, processes, environment."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (double trigger, yielding foreign events...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, not yet processed
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` moves them to
+    *triggered* (scheduled), and the environment loop then runs their
+    callbacks, making them *processed*.  Processes wait on events by yielding
+    them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self._defused = False
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state >= _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will have it raised."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used by condition events)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        st = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {st[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: first resume of a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._state = _TRIGGERED
+        env._schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The process yields :class:`Event` instances; when a yielded event is
+    processed the generator is resumed with the event's value (or the event's
+    exception is thrown in).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current sim time."""
+        if self._state != _PENDING:
+            return  # already finished; interrupting a dead process is a no-op
+        if self._target is not None and self in self._target.callbacks:
+            self._target.callbacks.remove(self)
+        interrupt_ev = Event(self.env)
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev._state = _TRIGGERED
+        self.env._schedule(interrupt_ev, priority=0)
+
+    # Make the process usable directly as a callback.
+    def __call__(self, event: Event) -> None:  # pragma: no cover - alias
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._state = _PENDING  # allow succeed() below
+                self.succeed(stop.value)
+                break
+            except BaseException as exc:
+                self._state = _PENDING
+                self.fail(exc)
+                break
+
+            if not isinstance(next_ev, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+            if next_ev.env is not self.env:
+                exc = SimulationError("yielded event belongs to another environment")
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+
+            if next_ev._state == _PROCESSED:
+                # Already done: resume immediately with its outcome.
+                event = next_ev
+                continue
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            break
+        self.env._active_proc = None
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on a set of events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._events and self._state == _PENDING:
+            self.succeed({})
+
+    def _collect(self) -> dict[Event, Any]:
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev._state >= _TRIGGERED and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every event has fired; value is a dict event→value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one event fires; value is a dict of fired events."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event loop."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _prio, _tie, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._state = _PROCESSED
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value  # unhandled failure
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be a time (float), an :class:`Event` (returns its
+        value), or ``None`` (drain all events).
+        """
+        if isinstance(until, Event):
+            stop_ev = until
+            while not stop_ev.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before `until` fired"
+                    )
+                self.step()
+            if not stop_ev.ok:
+                raise stop_ev.value
+            return stop_ev.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,199 @@
+"""Queued resources for the DES: Resource, PriorityResource, Store.
+
+These model contended hardware: a storage device is a ``Resource`` with
+capacity equal to its internal parallelism; a mailbox between actors is a
+``Store``.  Requests are events, so processes simply ``yield res.request()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "PriorityResource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted.
+
+    Usable as a context manager inside a process::
+
+        with device.request() as req:
+            yield req
+            ... hold the device ...
+    """
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.key = (priority, next(resource._tiebreak))
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Immediate event confirming a release (for symmetry with SimPy)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.succeed()
+
+
+class Resource:
+    """FIFO resource with integer capacity."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[tuple[tuple[int, int], Request]] = []
+        self._tiebreak = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self.queue, (req.key, req))
+
+    def release(self, req: Request) -> Release:
+        if req in self.users:
+            self.users.remove(req)
+            self._grant_next()
+        else:
+            self._cancel(req)
+        return Release(self.env)
+
+    def _cancel(self, req: Request) -> None:
+        for i, (_k, queued) in enumerate(self.queue):
+            if queued is req:
+                self.queue.pop(i)
+                heapq.heapify(self.queue)
+                return
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            _key, req = heapq.heappop(self.queue)
+            if req.triggered:  # cancelled/failed while queued
+                continue
+            self.users.append(req)
+            req.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose queue orders by ``priority`` (lower first), FIFO ties.
+
+    Used to let foreground I/O preempt *queue position* over background
+    recycle I/O on the same device (no mid-service preemption; real block
+    devices don't abort in-flight commands either).
+    """
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """Unbounded-or-bounded FIFO queue of Python objects.
+
+    ``put`` blocks only when a finite ``capacity`` is set and reached;
+    ``get`` blocks until an item is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        ev = StorePut(self.env, item)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            self._wake_getters()
+        else:
+            self._putters.append(ev)
+        return ev
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_putters()
+        return item
+
+    def _wake_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(self.items.popleft())
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(putter.item)
+            putter.succeed()
+            self._wake_getters()

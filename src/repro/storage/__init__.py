@@ -1,0 +1,29 @@
+"""Storage device timing/wear models and the in-memory block store.
+
+The device classes are *timing and accounting* models: they charge simulated
+time for each I/O on the DES and keep the counters the paper's Table 1 and
+lifespan analysis need (read/write counts and volume, overwrite counts and
+volume, sequential/random split, flash page programs and block erases).
+
+Actual bytes live in :class:`repro.storage.blockstore.BlockStore`, which is a
+plain dict of numpy arrays — keeping data movement (verifiable) separate from
+time accounting (simulated).
+"""
+
+from repro.storage.base import IOKind, IORequest, StorageDevice
+from repro.storage.blockstore import BlockStore
+from repro.storage.hdd import HDDevice, HDDParams
+from repro.storage.ssd import SSDevice, SSDParams
+from repro.storage.wear import FlashWearModel
+
+__all__ = [
+    "IOKind",
+    "IORequest",
+    "StorageDevice",
+    "BlockStore",
+    "SSDevice",
+    "SSDParams",
+    "HDDevice",
+    "HDDParams",
+    "FlashWearModel",
+]

@@ -1,0 +1,157 @@
+"""Common device machinery: I/O requests, sequentiality detection, counters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim import Environment, PriorityResource
+
+__all__ = ["IOKind", "IOPriority", "IORequest", "DeviceCounters", "StorageDevice"]
+
+
+class IOKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class IOPriority(enum.IntEnum):
+    """Queue ordering on the device: foreground beats background recycle."""
+
+    FOREGROUND = 0
+    BACKGROUND = 10
+
+
+@dataclass
+class IORequest:
+    """One device I/O.
+
+    ``stream`` names a logical access stream (e.g. "datalog-pool3",
+    "blockstore"); the device decides sequential-vs-random per stream by
+    comparing ``offset`` with the stream's previous end offset.
+
+    ``overwrite`` marks writes that replace live data in place (the paper's
+    write-penalty metric counts these separately from appends/first writes).
+    """
+
+    kind: IOKind
+    offset: int
+    size: int
+    stream: str = "default"
+    priority: int = IOPriority.FOREGROUND
+    overwrite: bool = False
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"I/O size must be positive, got {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"I/O offset must be >= 0, got {self.offset}")
+
+
+@dataclass
+class DeviceCounters:
+    """Cumulative op/byte counters, split by pattern and overwrite status."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    overwrites: int = 0
+    overwrite_bytes: int = 0
+    seq_ops: int = 0
+    rand_ops: int = 0
+    busy_time: float = 0.0
+    # background (recycle) share, for the fig6a analysis
+    bg_ops: int = 0
+    bg_bytes: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.writes
+
+
+class StorageDevice:
+    """Base class: queued service of IORequests on the DES.
+
+    Subclasses implement :meth:`_service_time` from their hardware model.
+    ``channels`` is the device's internal parallelism (NVMe SSDs serve several
+    commands concurrently; HDDs serve one).
+    """
+
+    #: gap (bytes) below which a follow-on access still counts as sequential
+    SEQ_GAP = 4096
+
+    def __init__(self, env: Environment, name: str, channels: int = 1) -> None:
+        self.env = env
+        self.name = name
+        self.channels = channels
+        self.resource = PriorityResource(env, capacity=channels)
+        self.counters = DeviceCounters()
+        self._stream_end: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ API
+    def submit(self, req: IORequest) -> Generator:
+        """Process generator: queue on the device, hold it for the service
+        time, update counters.  Yields until the I/O completes.
+        """
+        with self.resource.request(priority=req.priority) as grant:
+            yield grant
+            sequential = self._classify(req)
+            service = self._service_time(req, sequential)
+            self._account(req, sequential, service)
+            yield self.env.timeout(service)
+
+    def estimate(self, req: IORequest) -> float:
+        """Service time the request *would* take now (no queueing, no state
+        change) — used by latency-path analyses."""
+        sequential = self._peek_classify(req)
+        return self._service_time(req, sequential)
+
+    @property
+    def queue_depth(self) -> int:
+        return self.resource.queue_len + self.resource.count
+
+    # ------------------------------------------------------------ internals
+    def _classify(self, req: IORequest) -> bool:
+        """Sequentiality from the stream's access history; updates history."""
+        last_end = self._stream_end.get(req.stream)
+        sequential = (
+            last_end is not None and 0 <= req.offset - last_end <= self.SEQ_GAP
+        )
+        self._stream_end[req.stream] = req.offset + req.size
+        return sequential
+
+    def _peek_classify(self, req: IORequest) -> bool:
+        last_end = self._stream_end.get(req.stream)
+        return last_end is not None and 0 <= req.offset - last_end <= self.SEQ_GAP
+
+    def _service_time(self, req: IORequest, sequential: bool) -> float:
+        raise NotImplementedError
+
+    def _account(self, req: IORequest, sequential: bool, service: float) -> None:
+        c = self.counters
+        if req.kind is IOKind.READ:
+            c.reads += 1
+            c.read_bytes += req.size
+        else:
+            c.writes += 1
+            c.write_bytes += req.size
+            if req.overwrite:
+                c.overwrites += 1
+                c.overwrite_bytes += req.size
+        if sequential:
+            c.seq_ops += 1
+        else:
+            c.rand_ops += 1
+        if req.priority >= IOPriority.BACKGROUND:
+            c.bg_ops += 1
+            c.bg_bytes += req.size
+        c.busy_time += service
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,99 @@
+"""In-memory byte store for blocks — the *contents* side of an OSD's disk.
+
+Timing is charged by the device models; this class holds the actual bytes so
+the reproduction can verify end-to-end that every update path leaves stripes
+that still decode (see the integrity oracle in :mod:`repro.cluster.verify`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from repro.common.errors import IntegrityError
+
+__all__ = ["BlockStore"]
+
+
+class BlockStore:
+    """Mapping of block id -> mutable uint8 array with ranged read/write."""
+
+    def __init__(self, block_size: int) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self._blocks: dict[Hashable, np.ndarray] = {}
+
+    def __contains__(self, block_id: Hashable) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._blocks)
+
+    def create(self, block_id: Hashable, data: np.ndarray | None = None) -> None:
+        """Materialize a block, zero-filled or from ``data``."""
+        if block_id in self._blocks:
+            raise IntegrityError(f"block {block_id!r} already exists")
+        if data is None:
+            self._blocks[block_id] = np.zeros(self.block_size, dtype=np.uint8)
+        else:
+            data = np.asarray(data, dtype=np.uint8)
+            if data.shape != (self.block_size,):
+                raise IntegrityError(
+                    f"block {block_id!r}: size {data.shape} != {self.block_size}"
+                )
+            self._blocks[block_id] = data.copy()
+
+    def ensure(self, block_id: Hashable) -> np.ndarray:
+        if block_id not in self._blocks:
+            self._blocks[block_id] = np.zeros(self.block_size, dtype=np.uint8)
+        return self._blocks[block_id]
+
+    def read(self, block_id: Hashable, offset: int = 0, size: int | None = None) -> np.ndarray:
+        """Copy out ``size`` bytes at ``offset`` (whole block by default)."""
+        block = self._get(block_id)
+        size = self.block_size - offset if size is None else size
+        self._check_range(offset, size)
+        return block[offset : offset + size].copy()
+
+    def view(self, block_id: Hashable) -> np.ndarray:
+        """Zero-copy read-only view of a whole block."""
+        view = self._get(block_id).view()
+        view.flags.writeable = False
+        return view
+
+    def write(self, block_id: Hashable, offset: int, data: np.ndarray) -> None:
+        """Write ``data`` at ``offset``, materializing the block if needed."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._check_range(offset, data.shape[0])
+        self.ensure(block_id)[offset : offset + data.shape[0]] = data
+
+    def xor_in(self, block_id: Hashable, offset: int, delta: np.ndarray) -> None:
+        """In-place XOR merge — the parity-log recycle primitive."""
+        delta = np.asarray(delta, dtype=np.uint8)
+        self._check_range(offset, delta.shape[0])
+        self.ensure(block_id)[offset : offset + delta.shape[0]] ^= delta
+
+    def delete(self, block_id: Hashable) -> None:
+        self._blocks.pop(block_id, None)
+
+    def nbytes(self) -> int:
+        return len(self._blocks) * self.block_size
+
+    # ------------------------------------------------------------ internals
+    def _get(self, block_id: Hashable) -> np.ndarray:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise IntegrityError(f"block {block_id!r} does not exist") from None
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.block_size:
+            raise IntegrityError(
+                f"range [{offset}, {offset + size}) outside block of "
+                f"{self.block_size} bytes"
+            )

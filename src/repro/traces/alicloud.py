@@ -1,0 +1,33 @@
+"""Ali-Cloud trace twin.
+
+Published statistics (paper §2.1 citing Li et al. 2020): 75% of requests are
+updates; of those, 46% are exactly 4 KB and 60% are <= 16 KB.  Locality is
+moderate relative to Ten-Cloud.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import SyntheticTraceSpec
+
+__all__ = ["alicloud_spec"]
+
+_KB = 1024
+
+
+def alicloud_spec() -> SyntheticTraceSpec:
+    return SyntheticTraceSpec(
+        name="alicloud",
+        update_ratio=0.75,
+        size_buckets=(
+            (4 * _KB, 0.46),  # 46% exactly 4 KB
+            (8 * _KB, 0.08),
+            (16 * _KB, 0.06),  # cumulative <=16K: 60%
+            (32 * _KB, 0.14),
+            (64 * _KB, 0.12),
+            (128 * _KB, 0.09),
+            (256 * _KB, 0.05),
+        ),
+        zipf_a=1.05,
+        working_set=0.25,
+        p_run=0.25,
+    )

@@ -1,0 +1,46 @@
+"""Trace statistics: verify a generated trace matches its specification."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.record import TraceRecord
+
+__all__ = ["trace_statistics"]
+
+_PAGE = 4096
+
+
+def trace_statistics(records: Sequence[TraceRecord]) -> dict[str, float]:
+    """Summary statistics: update ratio, size CDF points, footprint."""
+    if not records:
+        return {
+            "n_ops": 0,
+            "update_ratio": 0.0,
+            "p_4k": 0.0,
+            "p_le_16k": 0.0,
+            "mean_size": 0.0,
+            "footprint_fraction": 0.0,
+        }
+    n = len(records)
+    updates = [r for r in records if r.op == "update"]
+    sizes = np.array([r.size for r in updates]) if updates else np.array([0])
+    pages_touched: set[tuple[int, int]] = set()
+    max_extent: dict[int, int] = {}
+    for r in records:
+        for page in range(r.offset // _PAGE, -(-(r.offset + r.size) // _PAGE)):
+            pages_touched.add((r.file_id, page))
+        max_extent[r.file_id] = max(
+            max_extent.get(r.file_id, 0), r.offset + r.size
+        )
+    total_pages = sum(-(-ext // _PAGE) for ext in max_extent.values())
+    return {
+        "n_ops": float(n),
+        "update_ratio": len(updates) / n,
+        "p_4k": float((sizes == 4096).mean()) if updates else 0.0,
+        "p_le_16k": float((sizes <= 16384).mean()) if updates else 0.0,
+        "mean_size": float(sizes.mean()) if updates else 0.0,
+        "footprint_fraction": len(pages_touched) / max(1, total_pages),
+    }

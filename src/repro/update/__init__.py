@@ -1,0 +1,53 @@
+"""Erasure-code update methods: the paper's five baselines + FL + TSUE.
+
+All methods implement :class:`repro.update.base.UpdateMethod` and are
+registered in :data:`METHODS`, so the harness can sweep them uniformly::
+
+    from repro.update import make_method
+    method = make_method("tsue", ecfs)
+"""
+
+from repro.update.base import UpdateMethod
+from repro.update.fo import FullOverwrite
+from repro.update.fl import FullLogging
+from repro.update.pl import ParityLogging
+from repro.update.plr import ParityLoggingReserved
+from repro.update.parix import PARIX
+from repro.update.cord import CoRD
+from repro.update.tsue import TSUE, TSUEOptions
+
+METHODS = {
+    "fo": FullOverwrite,
+    "fl": FullLogging,
+    "pl": ParityLogging,
+    "plr": ParityLoggingReserved,
+    "parix": PARIX,
+    "cord": CoRD,
+    "tsue": TSUE,
+}
+
+
+def make_method(name: str, ecfs, **kwargs) -> UpdateMethod:
+    """Instantiate a registered update method by name."""
+    try:
+        cls = METHODS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown update method {name!r}; choose from {sorted(METHODS)}"
+        ) from None
+    return cls(ecfs, **kwargs)
+
+
+__all__ = [
+    "UpdateMethod",
+    "FullOverwrite",
+    "FullLogging",
+    "ParityLogging",
+    "ParityLoggingReserved",
+    "PARIX",
+    "CoRD",
+    "TSUE",
+    "TSUEOptions",
+    "METHODS",
+    "make_method",
+]

@@ -1,0 +1,187 @@
+"""Common machinery for update methods.
+
+An update method is attached to an :class:`~repro.cluster.ecfs.ECFS` and
+handles update/read requests *on the OSD that owns the data block*.  The
+base class provides the shared building blocks of Fig. 1:
+
+* :meth:`data_rmw` — the in-place read-modify-write of a data block that
+  every SOTA incremental method performs in the critical path (returns the
+  data delta),
+* :meth:`parity_rmw` — in-place application of a parity delta at a parity
+  OSD,
+* :meth:`forward` — a one-way payload transfer between two OSDs.
+
+Methods override :meth:`handle_update`; the default :meth:`handle_read`
+serves the in-place block (correct for every method whose data blocks are
+updated in place; log-structured methods override it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.cluster.client import UpdateOp
+from repro.cluster.ids import BlockId
+from repro.cluster.osd import OSD
+from repro.storage.base import IOKind, IOPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.ecfs import ECFS
+
+__all__ = ["UpdateMethod"]
+
+
+class UpdateMethod:
+    """Base class; subclasses set ``name`` and implement ``handle_update``."""
+
+    name = "base"
+
+    def __init__(self, ecfs: "ECFS") -> None:
+        self.ecfs = ecfs
+
+    # ------------------------------------------------------------ lifecycle
+    def attach(self, osd: OSD) -> None:
+        """Create per-OSD state (log pools etc.).  Default: none."""
+
+    def start_background(self) -> None:
+        """Spawn background DES processes (recyclers).  Default: none."""
+
+    def flush(self) -> Generator:
+        """Drain all logs so every stripe verifies.  Default: nothing to do."""
+        yield self.ecfs.env.timeout(0)
+
+    def log_debt_bytes(self, osd: OSD) -> int:
+        """Outstanding log bytes on this OSD that recovery must merge first."""
+        return 0
+
+    # ----------------------------------------------------- recovery hooks
+    def quiesce_node(self, victim: OSD) -> Generator:
+        """Wait for in-flight background work on ``victim`` before it fails."""
+        yield self.ecfs.env.timeout(0)
+
+    def on_node_failed(self, victim: OSD) -> None:
+        """Adjust log state when ``victim`` dies.
+
+        Default: nothing.  Methods whose logs live with the blocks they
+        describe drop the victim's entries (the rebuilt blocks are re-encoded
+        from up-to-date data, so those deltas are subsumed); TSUE instead
+        stashes the victim's DataLog/DeltaLog content for replica replay.
+        """
+
+    def pre_rebuild(self) -> Generator:
+        """Work required after survivor log settlement but before decode
+        (e.g. replaying the victim's replicated logs)."""
+        yield self.ecfs.env.timeout(0)
+
+    def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
+        """Apply any stashed updates for a freshly decoded block."""
+        yield self.ecfs.env.timeout(0)
+
+    def finalize_recovery(self) -> Generator:
+        """Drain whatever the replay produced."""
+        yield self.ecfs.env.timeout(0)
+
+    def degraded_overlay(
+        self, block: BlockId, offset: int, size: int, buf: np.ndarray
+    ) -> Generator:
+        """Overlay updates that were acked but not yet merged into ``block``
+        when its node died (consulted by degraded reads).  Methods that
+        update data blocks in place have nothing logged for data blocks;
+        TSUE overrides this to read the replica DataLog."""
+        yield self.ecfs.env.timeout(0)
+        return buf
+
+    def memory_bytes(self, osd: OSD) -> int:
+        """Method memory footprint on this OSD (log buffers + indexes)."""
+        return 0
+
+    # ------------------------------------------------------------- handlers
+    def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
+        raise NotImplementedError
+
+    def handle_read(
+        self, osd: OSD, block: BlockId, offset: int, size: int
+    ) -> Generator:
+        """Default read path: the in-place data block."""
+        yield from osd.io_block(IOKind.READ, block, offset, size)
+        return (
+            osd.store.read(block, offset, size)
+            if block in osd.store
+            else np.zeros(size, dtype=np.uint8)
+        )
+
+    # ------------------------------------------------------ shared plumbing
+    @property
+    def env(self):
+        return self.ecfs.env
+
+    @property
+    def costs(self):
+        return self.ecfs.config.costs
+
+    def data_rmw(
+        self, osd: OSD, op: UpdateOp, priority: int = IOPriority.FOREGROUND
+    ) -> Generator:
+        """In-place data update: read old, write new; returns the data delta.
+
+        This is the 'time-consuming write-after-read process' of §2.3.1 that
+        TSUE removes from the critical path.  Holds the block lock so
+        concurrent updates to one block serialize (no lost deltas).
+        """
+        with osd.block_lock(op.block).request() as lock:
+            yield lock
+            yield from osd.io_block(IOKind.READ, op.block, op.offset, op.size, priority)
+            old = (
+                osd.store.read(op.block, op.offset, op.size)
+                if op.block in osd.store
+                else np.zeros(op.size, dtype=np.uint8)
+            )
+            yield self.env.timeout(self.costs.xor(op.size))
+            delta = old ^ op.payload
+            yield from osd.io_block(
+                IOKind.WRITE, op.block, op.offset, op.size, priority, overwrite=True
+            )
+            osd.store.write(op.block, op.offset, op.payload)
+            self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+        return delta
+
+    def parity_rmw(
+        self,
+        posd: OSD,
+        pblock: BlockId,
+        offset: int,
+        pdelta: np.ndarray,
+        priority: int = IOPriority.FOREGROUND,
+        tag: str = "",
+    ) -> Generator:
+        """Read-XOR-write a parity range in place at the parity OSD."""
+        size = int(pdelta.shape[0])
+        yield from posd.io_block(IOKind.READ, pblock, offset, size, priority, tag=tag)
+        yield self.env.timeout(self.costs.xor(size))
+        yield from posd.io_block(
+            IOKind.WRITE, pblock, offset, size, priority, overwrite=True, tag=tag
+        )
+        posd.store.ensure(pblock)
+        posd.store.xor_in(pblock, offset, pdelta)
+
+    def forward(self, src: OSD, dst: OSD, nbytes: int) -> Generator:
+        """One-way OSD-to-OSD transfer (payload + header)."""
+        yield from self.ecfs.net.transfer(
+            src.name, dst.name, nbytes + self.ecfs.config.header_bytes
+        )
+
+    # ---------------------------------------------------------- EC geometry
+    def parity_targets(self, block: BlockId) -> list[tuple[int, OSD, BlockId]]:
+        """[(parity row j, hosting OSD, parity BlockId)] for ``block``'s stripe."""
+        ecfs = self.ecfs
+        out = []
+        for j in range(ecfs.rs.m):
+            pbid = BlockId(block.file_id, block.stripe, ecfs.rs.k + j)
+            out.append((j, ecfs.osd_hosting(pbid), pbid))
+        return out
+
+    def parity_coef(self, j: int, data_idx: int) -> int:
+        """Coding coefficient a_{j, data_idx} of Eq. (2)."""
+        return int(self.ecfs.rs.coding[j, data_idx])

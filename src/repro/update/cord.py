@@ -1,0 +1,175 @@
+"""CoRD — Combining Raid and Delta (Zhou et al., SC '24; §2.2).
+
+CoRD minimizes update *network traffic*: the data OSD computes the data
+delta (write-after-read, like PL) but ships it only to a per-stripe
+**collector** (the OSD hosting the stripe's first parity block).  The
+collector aggregates deltas from multiple data blocks at the same stripe
+position (Eq. 5) in a **fixed-size single buffer log**; when the buffer
+fills, its contents are recycled: per-parity merged deltas are computed and
+fanned out to the parity OSDs, which apply them in place.
+
+The concurrency weakness the paper exploits is modelled faithfully: the
+buffer log is single, so at most one recycle can be in flight per collector;
+while one runs, the (fixed-size) buffer keeps absorbing appends, but if it
+fills *again* before the recycle finishes, every append at that collector
+stalls — "the recycling process becomes a bottleneck that limits update
+performance".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Generator
+
+from repro.cluster.client import UpdateOp
+from repro.cluster.ids import BlockId
+from repro.cluster.osd import OSD
+from repro.core.intervals import ExtentMap, MergePolicy
+from repro.gf.field import gf_mul_scalar
+from repro.sim import Event
+from repro.storage.base import IOPriority
+from repro.update.base import UpdateMethod
+
+__all__ = ["CoRD"]
+
+_Buffers = dict[tuple[int, int], dict[int, ExtentMap]]
+
+
+class CoRD(UpdateMethod):
+    name = "cord"
+
+    #: CoRD's fixed collector buffer (fixed-size single log; its recycle
+    #: concurrency limit is the method's weakness)
+    DEFAULT_BUFFER = 512 * 1024
+
+    def __init__(self, ecfs, buffer_size: int | None = None) -> None:
+        super().__init__(ecfs)
+        self.buffer_size = buffer_size or self.DEFAULT_BUFFER
+        # collector state, per collector OSD name
+        self._buffers: dict[str, _Buffers] = defaultdict(dict)
+        self._buffer_used: dict[str, int] = defaultdict(int)
+        self._recycling: dict[str, bool] = defaultdict(bool)
+        self._waiters: dict[str, list[Event]] = defaultdict(list)
+        self.stalls = 0
+        self.stall_time = 0.0
+
+    # ------------------------------------------------------------ front end
+    def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
+        delta = yield from self.data_rmw(osd, op)
+        collector = self._collector_of(op.block)
+        yield from self.forward(osd, collector, op.size)
+        yield from self._collector_append(collector, op, delta)
+
+    def _collector_of(self, block: BlockId) -> OSD:
+        pbid = BlockId(block.file_id, block.stripe, self.ecfs.rs.k)  # parity 0
+        return self.ecfs.osd_hosting(pbid)
+
+    def _collector_append(self, collector: OSD, op: UpdateOp, delta) -> Generator:
+        name = collector.name
+        while self._buffer_used[name] + op.size > self.buffer_size:
+            if not self._recycling[name]:
+                self._start_recycle(collector)
+            else:
+                # single log: buffer full AND a recycle already in flight —
+                # the append has nowhere to go (the paper's bottleneck)
+                t0 = self.env.now
+                waiter = self.env.event()
+                self._waiters[name].append(waiter)
+                self.stalls += 1
+                yield waiter
+                self.stall_time += self.env.now - t0
+        yield from collector.io_log_append("cord-buffer", op.size, tag="cord-append")
+        per_idx = self._buffers[name].setdefault(
+            (op.block.file_id, op.block.stripe), {}
+        )
+        emap = per_idx.setdefault(op.block.idx, ExtentMap(MergePolicy.XOR))
+        emap.insert(op.offset, delta)
+        self._buffer_used[name] += op.size
+
+    # -------------------------------------------------------------- recycle
+    def _start_recycle(self, collector: OSD) -> None:
+        """Snapshot + clear the buffer; recycle the snapshot in background."""
+        name = collector.name
+        snapshot = self._buffers[name]
+        self._buffers[name] = {}
+        self._buffer_used[name] = 0
+        self._recycling[name] = True
+        self.env.process(
+            self._recycle_job(collector, snapshot), name=f"cord-recycle-{name}"
+        )
+
+    def _recycle_job(self, collector: OSD, snapshot: _Buffers) -> Generator:
+        try:
+            yield from self._apply_snapshot(collector, snapshot, IOPriority.BACKGROUND)
+        finally:
+            self._recycling[collector.name] = False
+            for waiter in self._waiters[collector.name]:
+                if not waiter.triggered:
+                    waiter.succeed()
+            self._waiters[collector.name].clear()
+
+    def _apply_snapshot(
+        self, collector: OSD, snapshot: _Buffers, priority: int
+    ) -> Generator:
+        """Eq. (5) merge + fan-out + in-place parity application."""
+        rs = self.ecfs.rs
+        for (file_id, stripe), per_idx in snapshot.items():
+            for j in range(rs.m):
+                pbid = BlockId(file_id, stripe, rs.k + j)
+                posd = self.ecfs.osd_hosting(pbid)
+                merged = ExtentMap(MergePolicy.XOR)
+                for didx, emap in per_idx.items():
+                    coef = self.parity_coef(j, didx)
+                    for ext in emap.extents():
+                        yield self.env.timeout(self.costs.gf_mul(ext.size))
+                        merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
+                for ext in merged.extents():
+                    yield from self.forward(collector, posd, ext.size)
+                    yield from self.parity_rmw(
+                        posd, pbid, ext.start, ext.data, priority, tag="cord-recycle"
+                    )
+
+    # ---------------------------------------------------------------- drain
+    def flush(self) -> Generator:
+        # wait out in-flight recycles, then recycle the residue
+        while any(self._recycling.values()):
+            yield self.env.timeout(0.0001)
+        jobs = []
+        for osd in self.ecfs.osds:
+            if self._buffer_used.get(osd.name):
+                snapshot = self._buffers[osd.name]
+                self._buffers[osd.name] = {}
+                self._buffer_used[osd.name] = 0
+                jobs.append(
+                    self.env.process(
+                        self._apply_snapshot(osd, snapshot, IOPriority.BACKGROUND),
+                        name=f"cord-flush-{osd.name}",
+                    )
+                )
+        if jobs:
+            yield self.env.all_of(jobs)
+        else:
+            yield self.env.timeout(0)
+
+    def log_debt_bytes(self, osd: OSD) -> int:
+        return self._buffer_used.get(osd.name, 0)
+
+    def on_node_failed(self, victim: OSD) -> None:
+        """CoRD's buffer log has no replica: deltas buffered at a failed
+        collector are lost (the paper does not include CoRD in its recovery
+        evaluation; its single unreplicated buffer is part of why)."""
+        self._buffers.pop(victim.name, None)
+        self._buffer_used[victim.name] = 0
+        self._recycling[victim.name] = False
+
+    def recovery_prepare(self, osd: OSD) -> Generator:
+        while self._recycling.get(osd.name):
+            yield self.env.timeout(0.0001)
+        if self._buffer_used.get(osd.name):
+            snapshot = self._buffers[osd.name]
+            self._buffers[osd.name] = {}
+            self._buffer_used[osd.name] = 0
+            yield from self._apply_snapshot(osd, snapshot, IOPriority.FOREGROUND)
+
+    def memory_bytes(self, osd: OSD) -> int:
+        return self._buffer_used.get(osd.name, 0)

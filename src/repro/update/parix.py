@@ -1,0 +1,236 @@
+"""PARIX — speculative partial writes (Li et al., ATC '17; §2.2).
+
+PARIX skips the write-after-read delta computation: the data OSD overwrites
+in place and forwards the *new data* to the parity logs.  The parity delta
+``a_ij (D_n - D_0)`` only needs the original value ``D_0`` once, so on the
+**first** update of an address the data OSD must additionally read the old
+bytes and ship them — the extra serial round trip that costs PARIX "2x
+network latency" for updates without temporal locality.
+
+The parity-side log keeps, per (parity block, source data block):
+
+* a *first-wins* extent map of original bytes ``D_0`` (each byte's D0 is
+  captured by the ship triggered at that byte's first update), and
+* a *latest-wins* extent map of new bytes ``D_n``.
+
+Recycling then applies ``a_ij (D_n ^ D_0)`` per extent — Eq. (4)'s
+temporal-locality collapse, which is exactly PARIX's selling point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.client import UpdateOp
+from repro.cluster.ids import BlockId
+from repro.cluster.osd import OSD
+from repro.core.intervals import ExtentMap, MergePolicy
+from repro.ec.incremental import parity_delta
+from repro.storage.base import IOKind, IOPriority
+from repro.update.base import UpdateMethod
+
+__all__ = ["PARIX"]
+
+
+class _PairLog:
+    """Old/new extent maps + raw-entry accounting for one (pbid, didx)."""
+
+    __slots__ = ("old", "new", "raw_entries", "raw_bytes")
+
+    def __init__(self) -> None:
+        self.old = ExtentMap(MergePolicy.OVERWRITE)
+        self.new = ExtentMap(MergePolicy.OVERWRITE)
+        self.raw_entries = 0
+        self.raw_bytes = 0
+
+    def log_old(self, offset: int, data: np.ndarray) -> None:
+        """First-wins: only the not-yet-covered sub-ranges record D0."""
+        for gap_off, gap_size in self.old.uncovered(offset, int(data.shape[0])):
+            rel = gap_off - offset
+            self.old.insert(gap_off, data[rel : rel + gap_size])
+        self.raw_entries += 1
+        self.raw_bytes += int(data.shape[0])
+
+    def log_new(self, offset: int, data: np.ndarray) -> None:
+        self.new.insert(offset, data)
+        self.raw_entries += 1
+        self.raw_bytes += int(data.shape[0])
+
+
+class PARIX(UpdateMethod):
+    name = "parix"
+
+    def __init__(self, ecfs) -> None:
+        super().__init__(ecfs)
+        # data-OSD side: ranges of each block whose D0 already shipped
+        self._seen: dict[BlockId, ExtentMap] = {}
+        # parity-OSD side: (pbid, data idx) -> pair log
+        self._logs: dict[tuple[BlockId, int], _PairLog] = {}
+        self._log_bytes: dict[str, int] = defaultdict(int)
+
+    def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
+        targets = self.parity_targets(op.block)
+        # Front end is serialized per block so the parity logs' old/new state
+        # commits in the same order as the in-place writes.
+        with osd.block_lock(op.block).request() as lock:
+            yield lock
+            live = None
+            if self._unseen_ranges(op.block, op.offset, op.size):
+                # PARIX must capture D0 once per address: read the original
+                # bytes before the speculative overwrite.
+                yield from osd.io_block(IOKind.READ, op.block, op.offset, op.size)
+                live = (
+                    osd.store.read(op.block, op.offset, op.size)
+                    if op.block in osd.store
+                    else np.zeros(op.size, dtype=np.uint8)
+                )
+                self._mark_seen(op.block, op.offset, op.size)
+                for _j, posd, pbid in targets:
+                    log = self._logs.setdefault((pbid, op.block.idx), _PairLog())
+                    log.log_old(op.offset, live)
+                    self._log_bytes[posd.name] += op.size
+            # speculative in-place write of the new data (no read needed)
+            yield from osd.io_block(
+                IOKind.WRITE, op.block, op.offset, op.size, overwrite=True
+            )
+            osd.store.write(op.block, op.offset, op.payload)
+            self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+            for _j, posd, pbid in targets:
+                log = self._logs.setdefault((pbid, op.block.idx), _PairLog())
+                log.log_new(op.offset, op.payload)
+                self._log_bytes[posd.name] += op.size
+
+        # Wire + log-append charges.  The new data ships first; the parity
+        # node probes its speculation log to decide whether it already holds
+        # D0.  When it does not, it NACKs and the old data follows — the
+        # serial "2x network latency" penalty of Fig. 1.
+        sends = [
+            self.env.process(self._ship(osd, posd, op.size), name=f"parix-new-p{j}")
+            for j, posd, _pbid in targets
+        ]
+        yield self.env.all_of(sends)
+        if live is not None:
+            # NACK comes back before the data node can ship the old bytes
+            nacks = [
+                self.env.process(
+                    self.forward(posd, osd, 0), name=f"parix-nack-p{j}"
+                )
+                for j, posd, _pbid in targets
+            ]
+            yield self.env.all_of(nacks)
+            sends = [
+                self.env.process(self._ship(osd, posd, op.size), name=f"parix-old-p{j}")
+                for j, posd, _pbid in targets
+            ]
+            yield self.env.all_of(sends)
+
+    def _ship(self, osd: OSD, posd: OSD, size: int) -> Generator:
+        yield from self.forward(osd, posd, size)
+        yield from posd.io_log_append("parixlog", size, tag="parix-append")
+        # The speculation log needs a durable per-entry index record (how
+        # else would recovery find which addresses hold D0?): one small
+        # random index-page write per append.  This is what keeps PARIX
+        # device-bound despite skipping the data-side read.
+        yield from posd.io_at(
+            IOKind.WRITE,
+            addr=hash((posd.name, "parix-index", size)) & 0xFFFFFFFF,
+            size=4096,
+            stream="parixlog-index",
+            overwrite=True,
+            tag="parix-index",
+        )
+
+    # --------------------------------------------------------------- helpers
+    def _unseen_ranges(self, block: BlockId, offset: int, size: int) -> list:
+        emap = self._seen.get(block)
+        if emap is None:
+            return [(offset, size)]
+        return emap.uncovered(offset, size)
+
+    def _mark_seen(self, block: BlockId, offset: int, size: int) -> None:
+        emap = self._seen.get(block)
+        if emap is None:
+            emap = self._seen[block] = ExtentMap(MergePolicy.OVERWRITE)
+        emap.insert(offset, np.zeros(size, dtype=np.uint8))
+
+    # ------------------------------------------------------------- recycle
+    def flush(self) -> Generator:
+        per_osd: dict[str, list[tuple[BlockId, int]]] = defaultdict(list)
+        for key in list(self._logs):
+            per_osd[self.ecfs.osd_hosting(key[0]).name].append(key)
+        jobs = []
+        for osd in self.ecfs.osds:
+            keys = per_osd.get(osd.name)
+            if keys:
+                jobs.append(
+                    self.env.process(
+                        self._recycle_osd(osd, keys, IOPriority.BACKGROUND),
+                        name=f"parix-flush-{osd.name}",
+                    )
+                )
+        if jobs:
+            yield self.env.all_of(jobs)
+        else:
+            yield self.env.timeout(0)
+
+    def _recycle_osd(
+        self, posd: OSD, keys: list[tuple[BlockId, int]], priority: int
+    ) -> Generator:
+        for key in keys:
+            log = self._logs.pop(key, None)
+            if log is None:
+                continue
+            pbid, didx = key
+            j = pbid.idx - self.ecfs.rs.k
+            # read the raw (unmerged) log back from disk: one read per entry
+            for _ in range(log.raw_entries):
+                yield from posd.io_at(
+                    IOKind.READ,
+                    addr=hash((pbid, didx)) & 0xFFFFFFFF,
+                    size=max(1, log.raw_bytes // max(1, log.raw_entries)),
+                    stream="parixlog-read",
+                    priority=priority,
+                    tag="parix-recycle",
+                )
+            for ext in log.new.extents():
+                old = log.old.read_range(ext.start, ext.size)
+                if old is None:
+                    raise RuntimeError(
+                        "PARIX invariant violated: updated byte missing D0"
+                    )
+                yield self.env.timeout(self.costs.gf_mul(ext.size))
+                pdelta = parity_delta(self.parity_coef(j, didx), ext.data ^ old)
+                yield from self.parity_rmw(
+                    posd, pbid, ext.start, pdelta, priority, tag="parix-recycle"
+                )
+            # the recycled pair log loses its D0 baselines: the data OSD must
+            # ship fresh baselines on the next update of that data block
+            self._seen.pop(BlockId(pbid.file_id, pbid.stripe, didx), None)
+        self._log_bytes[posd.name] = 0
+
+    def log_debt_bytes(self, osd: OSD) -> int:
+        return self._log_bytes.get(osd.name, 0)
+
+    def on_node_failed(self, victim: OSD) -> None:
+        """The victim's speculation logs die with its parity blocks; data
+        blocks are updated in place, so re-encoded rebuilds subsume them."""
+        for key in list(self._logs):
+            pbid, didx = key
+            if self.ecfs.osd_hosting(pbid).name == victim.name:
+                del self._logs[key]
+                self._seen.pop(BlockId(pbid.file_id, pbid.stripe, didx), None)
+        self._log_bytes[victim.name] = 0
+
+    def recovery_prepare(self, posd: OSD) -> Generator:
+        mine = [
+            key
+            for key in list(self._logs)
+            if self.ecfs.osd_hosting(key[0]).name == posd.name
+        ]
+        yield from self._recycle_osd(posd, mine, IOPriority.FOREGROUND)
+
+    def memory_bytes(self, osd: OSD) -> int:
+        return self._log_bytes.get(osd.name, 0)

@@ -1,0 +1,107 @@
+"""PL — Parity Logging (Stodolsky et al., ISCA '93; §2.2).
+
+Data blocks update in place (write-after-read to get the delta); the parity
+delta for each parity block is appended to that parity OSD's *parity log*
+(a large sequential log).  Log recycling is deferred until a space threshold
+— effectively until flush/recovery in a bounded run — so PL's foreground is
+fast but it carries the largest log debt into recovery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Generator
+
+import numpy as np
+
+from repro.cluster.client import UpdateOp
+from repro.cluster.ids import BlockId
+from repro.cluster.osd import OSD
+from repro.ec.incremental import parity_delta
+from repro.storage.base import IOKind, IOPriority
+from repro.update.base import UpdateMethod
+
+__all__ = ["ParityLogging"]
+
+
+class ParityLogging(UpdateMethod):
+    name = "pl"
+
+    #: recycle when a node's parity log exceeds this many bytes
+    RECYCLE_THRESHOLD = 1 << 30
+
+    def __init__(self, ecfs) -> None:
+        super().__init__(ecfs)
+        # per-OSD: list of (parity BlockId, offset, pdelta) in arrival order
+        self._logs: dict[str, list[tuple[BlockId, int, np.ndarray]]] = defaultdict(list)
+        self._log_bytes: dict[str, int] = defaultdict(int)
+
+    def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
+        delta = yield from self.data_rmw(osd, op)
+        jobs = []
+        for j, posd, pbid in self.parity_targets(op.block):
+            jobs.append(
+                self.env.process(
+                    self._log_parity(osd, posd, pbid, op, delta, j), name=f"pl-p{j}"
+                )
+            )
+        yield self.env.all_of(jobs)
+
+    def _log_parity(self, osd: OSD, posd: OSD, pbid, op: UpdateOp, delta, j) -> Generator:
+        yield self.env.timeout(self.costs.gf_mul(op.size))
+        pdelta = parity_delta(self.parity_coef(j, op.block.idx), delta)
+        yield from self.forward(osd, posd, op.size)
+        # sequential append into the node-wide parity log
+        yield from posd.io_log_append("paritylog", op.size, tag="pl-append")
+        self._logs[posd.name].append((pbid, op.offset, pdelta))
+        self._log_bytes[posd.name] += op.size
+
+    # ------------------------------------------------------------- recycle
+    def flush(self) -> Generator:
+        jobs = [
+            self.env.process(self._recycle_node(osd), name=f"pl-flush-{osd.name}")
+            for osd in self.ecfs.osds
+            if self._logs.get(osd.name)
+        ]
+        if jobs:
+            yield self.env.all_of(jobs)
+        else:
+            yield self.env.timeout(0)
+
+    def _recycle_node(self, posd: OSD, priority: int = IOPriority.BACKGROUND) -> Generator:
+        """Replay this node's parity log: read deltas back, RMW parity blocks."""
+        entries = self._logs.pop(posd.name, [])
+        self._log_bytes[posd.name] = 0
+        if not entries:
+            return
+        # PL's recycle is random-read-heavy: the log is read back and every
+        # entry is applied individually (no locality merging).
+        for pbid, offset, pdelta in entries:
+            yield from posd.io_at(
+                IOKind.READ,
+                addr=(hash((pbid, offset)) & 0xFFFFFFFF),
+                size=int(pdelta.shape[0]),
+                stream="paritylog-read",
+                priority=priority,
+                tag="pl-recycle",
+            )
+            yield from self.parity_rmw(
+                posd, pbid, offset, pdelta, priority, tag="pl-recycle"
+            )
+
+    def log_debt_bytes(self, osd: OSD) -> int:
+        return self._log_bytes.get(osd.name, 0)
+
+    def on_node_failed(self, victim: OSD) -> None:
+        """The victim's parity log dies with its parity blocks; the data
+        blocks already hold every update (in-place), so re-encoded rebuilds
+        subsume the lost deltas."""
+        self._logs.pop(victim.name, None)
+        self._log_bytes[victim.name] = 0
+
+    def recovery_prepare(self, posd: OSD) -> Generator:
+        """Merge this node's pending parity log before its blocks are used."""
+        yield from self._recycle_node(posd, IOPriority.FOREGROUND)
+
+    def memory_bytes(self, osd: OSD) -> int:
+        return self._log_bytes.get(osd.name, 0)

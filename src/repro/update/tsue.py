@@ -1,0 +1,652 @@
+"""TSUE — the Two-Stage Update method (the paper's contribution, §3-§4).
+
+**Front end (synchronous)**: an update is appended to the data OSD's DataLog
+(one sequential write + an in-memory two-level-index insert) and mirrored to
+a replica OSD's DataLog copy; the client is acked as soon as both copies are
+durable.  No read, no in-place write, no parity work in the critical path.
+
+**Back end (asynchronous, real time)**: a three-layer pipeline recycles logs
+continuously,
+
+* DataLog recycle — merged extents are read-modify-written into the data
+  blocks; the data deltas are forwarded to the stripe's DeltaLog (hosted by
+  the first parity OSD, replicated to the second),
+* DeltaLog recycle — deltas from *different data blocks of one stripe* at
+  overlapping offsets are multiplied by their coding coefficients and merged
+  into one parity delta per parity block (Eq. 5), then forwarded to each
+  parity OSD's ParityLog,
+* ParityLog recycle — merged parity deltas are XORed into the parity blocks
+  in place.
+
+Every structural claim of the paper maps to an option in
+:class:`TSUEOptions` so the Fig. 7 breakdown (Baseline, O1..O5) is a set of
+option presets (:meth:`TSUEOptions.breakdown`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.client import UpdateOp
+from repro.cluster.ids import BlockId
+from repro.cluster.osd import OSD
+from repro.core.intervals import ExtentMap, MergePolicy
+from repro.common.errors import IntegrityError
+from repro.core.logpool import LogPool
+from repro.core.logunit import LogUnit, LogUnitState, RawKey
+from repro.core.recycler import RecyclePlanner
+from repro.gf.field import gf_mul_scalar
+from repro.storage.base import IOKind, IOPriority
+from repro.update.base import UpdateMethod
+
+__all__ = ["TSUEOptions", "TSUE"]
+
+_LAYERS = ("datalog", "deltalog", "paritylog")
+
+
+@dataclass(frozen=True)
+class TSUEOptions:
+    """Feature flags + sizing; defaults are the paper's full SSD config."""
+
+    datalog_locality: bool = True  # O1: merge/coalesce in the DataLog
+    backend_locality: bool = True  # O2: merge/coalesce in Delta/ParityLog
+    use_logpool: bool = True  # O3: FIFO multi-unit pools (else 1 unit)
+    pools_per_device: Optional[int] = None  # O4: pools per SSD (None: config)
+    use_deltalog: bool = True  # O5: DeltaLog layer (else direct to parity)
+    datalog_replicas: int = 1  # extra copies (1 -> 2 total; HDD uses 2)
+    replicate_deltalog: bool = True  # delta copy at the 2nd parity OSD
+    unit_size: Optional[int] = None  # default: ClusterConfig.log_unit_size
+    min_units: Optional[int] = None
+    max_units: Optional[int] = None
+    recycle_lanes: Optional[int] = None
+    # §7 future-work extension: compress deltas before forwarding them over
+    # the network (the log residence window leaves ample time to compress)
+    compress_deltas: bool = False
+    compression_ratio: float = 0.6  # compressed size / original size
+    compress_cost_per_byte: float = 0.5e-9
+
+    @staticmethod
+    def breakdown() -> dict[str, "TSUEOptions"]:
+        """The Fig. 7 ladder: Baseline, then +O1 ... +O5 cumulatively."""
+        base = TSUEOptions(
+            datalog_locality=False,
+            backend_locality=False,
+            use_logpool=False,
+            pools_per_device=1,
+            use_deltalog=False,
+        )
+        o1 = replace(base, datalog_locality=True)
+        o2 = replace(o1, backend_locality=True)
+        o3 = replace(o2, use_logpool=True)
+        o4 = replace(o3, pools_per_device=4)
+        o5 = replace(o4, use_deltalog=True)
+        return {"Baseline": base, "O1": o1, "O2": o2, "O3": o3, "O4": o4, "O5": o5}
+
+    @staticmethod
+    def hdd() -> "TSUEOptions":
+        """§5.4: HDD clusters drop the DeltaLog, keep 3 DataLog copies and
+        one pool per disk; units are kept small so the real-time-recycle
+        backlog stays bounded on seek-dominated devices (§5.3.5 notes the
+        unit size is shrunk to cut residence time)."""
+        return TSUEOptions(
+            use_deltalog=False,
+            datalog_replicas=2,
+            pools_per_device=1,
+            max_units=2,
+        )
+
+
+class TSUE(UpdateMethod):
+    name = "tsue"
+
+    def __init__(self, ecfs, options: TSUEOptions | None = None) -> None:
+        super().__init__(ecfs)
+        self.opts = options or TSUEOptions()
+        cfg = ecfs.config
+        self.unit_size = self.opts.unit_size or cfg.log_unit_size
+        if self.opts.use_logpool:
+            self.min_units = self.opts.min_units or cfg.log_min_units
+            self.max_units = self.opts.max_units or cfg.log_max_units
+        else:
+            # Without the FIFO pool (fig. 7 Baseline/O1/O2) there is a single
+            # mutually-exclusive log: appends stall for the whole recycle, so
+            # it cannot be grown large without unbounded stall windows — it
+            # stays small, like CoRD's fixed buffer.  O3's contribution in
+            # the paper is exactly lifting this constraint.
+            self.min_units = self.max_units = 1
+            self.unit_size = min(self.unit_size, 128 * 1024)
+        self.n_pools = max(1, self.opts.pools_per_device or cfg.log_pools)
+        self.lanes = self.opts.recycle_lanes or cfg.recycle_lanes
+
+        # per-OSD, per-layer pools: pools[osd.name][layer][pool index]
+        self.pools: dict[str, dict[str, list[LogPool]]] = {}
+        self.planner = RecyclePlanner(n_lanes=self.lanes)
+        # residence/append timing per layer (Table 2), seconds
+        self.append_times: dict[str, list[float]] = {l: [] for l in _LAYERS}
+        self.replica_log_bytes: dict[str, int] = defaultdict(int)
+        self._recycler_procs: list = []
+        # recovery stash: the victim's unrecycled DataLog extents (replayed
+        # onto rebuilt blocks from the replica logs) and DeltaLog extents
+        # (replayed to surviving ParityLogs from the 2nd-parity replica)
+        self._stash_data: dict[BlockId, list] = {}
+        self._stash_delta: list[tuple[BlockId, int, np.ndarray]] = []
+        self._stash_bytes = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def attach(self, osd: OSD) -> None:
+        layers: dict[str, list[LogPool]] = {}
+        for layer in _LAYERS:
+            if layer == "deltalog" and not self.opts.use_deltalog:
+                layers[layer] = []
+                continue
+            policy = (
+                MergePolicy.OVERWRITE if layer == "datalog" else MergePolicy.XOR
+            )
+            merge = (
+                self.opts.datalog_locality
+                if layer == "datalog"
+                else self.opts.backend_locality
+            )
+            layers[layer] = [
+                LogPool(
+                    self.env,
+                    name=f"{osd.name}:{layer}{p}",
+                    unit_size=self.unit_size,
+                    policy=policy,
+                    min_units=self.min_units,
+                    max_units=self.max_units,
+                    block_size=self.ecfs.config.block_size,
+                    merge=merge,
+                )
+                for p in range(self.n_pools)
+            ]
+        self.pools[osd.name] = layers
+
+    def start_background(self) -> None:
+        recycler_of = {
+            "datalog": self._recycle_datalog_unit,
+            "deltalog": self._recycle_deltalog_unit,
+            "paritylog": self._recycle_paritylog_unit,
+        }
+        for osd in self.ecfs.osds:
+            for layer in _LAYERS:
+                for p, pool in enumerate(self.pools[osd.name][layer]):
+                    proc = self.env.process(
+                        self._recycler_loop(osd, pool, p, recycler_of[layer]),
+                        name=f"tsue-{layer}-{osd.name}-{p}",
+                    )
+                    self._recycler_procs.append(proc)
+
+    # ------------------------------------------------------------ front end
+    def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
+        t0 = self.env.now
+        pool = self._pool(osd, "datalog", op.block)
+        # in-memory append (may stall on the unit quota — Fig. 6a)
+        yield from pool.append(op.block, op.offset, op.payload)
+        # the log IS the serialization point: commit to the oracle in append
+        # order, before any interleaving-prone I/O below.
+        self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+        # persist locally and replicate, concurrently; ack when all durable
+        jobs = [
+            self.env.process(
+                self._persist_local(osd, pool, op), name=f"tsue-persist{op.op_id}"
+            )
+        ]
+        for r in range(self.opts.datalog_replicas):
+            jobs.append(
+                self.env.process(
+                    self._replicate(osd, op, r), name=f"tsue-rep{op.op_id}.{r}"
+                )
+            )
+        yield self.env.all_of(jobs)
+        self.append_times["datalog"].append(self.env.now - t0)
+
+    def _persist_local(self, osd: OSD, pool: LogPool, op: UpdateOp) -> Generator:
+        stream = f"datalog{self._pool_idx(op.block)}"
+        yield from osd.io_log_append(stream, op.size, tag="tsue-datalog")
+
+    def _replicate(self, osd: OSD, op: UpdateOp, r: int) -> Generator:
+        rep_idx = (self.ecfs.placement.replica_osd(op.block) + r) % self.ecfs.config.n_osds
+        rep = self.ecfs.osds[rep_idx]
+        if rep.failed:
+            rep = self.ecfs.osds[(rep_idx + 1) % self.ecfs.config.n_osds]
+        yield from self.forward(osd, rep, op.size)
+        # replica is persisted to SSD only — no memory index (§4.1)
+        yield from rep.io_log_append("datalog-rep", op.size, tag="tsue-datalog-rep")
+        self.replica_log_bytes[rep.name] += op.size
+
+    # ------------------------------------------------------------ read path
+    def handle_read(
+        self, osd: OSD, block: BlockId, offset: int, size: int
+    ) -> Generator:
+        pool = self._pool(osd, "datalog", block)
+        hit = pool.lookup(block, offset, size)
+        if hit is not None:
+            # served from the in-memory log index: no device I/O
+            yield self.env.timeout(self.costs.op_fixed)
+            return hit
+        yield from osd.io_block(IOKind.READ, block, offset, size)
+        buf = (
+            osd.store.read(block, offset, size)
+            if block in osd.store
+            else np.zeros(size, dtype=np.uint8)
+        )
+        if pool.covers_any(block, offset, size):
+            # partial overlap: never return stale bytes (§3.3.3)
+            pool.overlay(block, offset, size, buf)
+        return buf
+
+    # ----------------------------------------------------------- recyclers
+    def _recycler_loop(self, osd: OSD, pool: LogPool, pidx: int, fn) -> Generator:
+        while True:
+            unit = yield pool.recyclable.get()
+            unit.start_recycle(self.env.now)
+            try:
+                yield from fn(osd, pool, pidx, unit)
+            except IntegrityError:
+                return  # the node died mid-recycle; recovery takes over
+            pool.unit_recycled(unit)
+
+    # -- stage 1: DataLog ----------------------------------------------------
+    def _recycle_datalog_unit(
+        self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
+    ) -> Generator:
+        items = self.planner.plan(unit)
+        lanes = list(self.planner.lanes(items))
+        procs = [
+            self.env.process(
+                self._datalog_lane(osd, lane), name=f"tsue-dlane-{osd.name}"
+            )
+            for lane in lanes
+        ]
+        if procs:
+            yield self.env.all_of(procs)
+
+    def _datalog_lane(self, osd: OSD, lane_items) -> Generator:
+        for work in lane_items:
+            block = self._real_block(work.block)
+            for ext in work.extents:
+                # read old data, compute delta, overwrite the data block
+                yield from osd.io_block(
+                    IOKind.READ, block, ext.start, ext.size,
+                    IOPriority.BACKGROUND, tag="tsue-dl-recycle",
+                )
+                old = (
+                    osd.store.read(block, ext.start, ext.size)
+                    if block in osd.store
+                    else np.zeros(ext.size, dtype=np.uint8)
+                )
+                yield self.env.timeout(self.costs.xor(ext.size))
+                delta = old ^ ext.data
+                yield from osd.io_block(
+                    IOKind.WRITE, block, ext.start, ext.size,
+                    IOPriority.BACKGROUND, overwrite=True, tag="tsue-dl-recycle",
+                )
+                osd.store.write(block, ext.start, ext.data)
+                yield from self._forward_delta(osd, block, ext.start, delta)
+
+    def _forward_delta(
+        self, osd: OSD, block: BlockId, offset: int, delta: np.ndarray
+    ) -> Generator:
+        """Ship a data delta towards parity: via DeltaLog (O5) or directly.
+
+        Falls back to direct parity fan-out when the DeltaLog home (first
+        parity OSD) is down.
+        """
+        size = int(delta.shape[0])
+        rs = self.ecfs.rs
+        p1_alive = (
+            rs.m >= 1
+            and not self.ecfs.osd_hosting(
+                BlockId(block.file_id, block.stripe, rs.k)
+            ).failed
+        )
+        wire_size = size
+        if self.opts.compress_deltas:
+            # compression happens off the critical path (the delta sits in
+            # the DeltaLog buffer for seconds — §7), but the CPU is charged
+            yield self.env.timeout(
+                self.costs.op_fixed + size * self.opts.compress_cost_per_byte
+            )
+            wire_size = max(1, int(size * self.opts.compression_ratio))
+        if self.opts.use_deltalog and p1_alive:
+            t0 = self.env.now
+            p1 = self.ecfs.osd_hosting(BlockId(block.file_id, block.stripe, rs.k))
+            yield from self.forward(osd, p1, wire_size)
+            dpool = self._pool(p1, "deltalog", block)
+            yield from dpool.append(block, offset, delta)
+            yield from p1.io_log_append(
+                f"deltalog{self._pool_idx(block)}",
+                size,
+                IOPriority.BACKGROUND,
+                tag="tsue-deltalog",
+            )
+            self.append_times["deltalog"].append(self.env.now - t0)
+            if self.opts.replicate_deltalog and rs.m >= 2:
+                p2 = self.ecfs.osd_hosting(
+                    BlockId(block.file_id, block.stripe, rs.k + 1)
+                )
+                if not p2.failed:
+                    yield from self.forward(osd, p2, wire_size)
+                    yield from p2.io_log_append(
+                        "deltalog-rep", size, IOPriority.BACKGROUND,
+                        tag="tsue-deltalog-rep",
+                    )
+                    self.replica_log_bytes[p2.name] += size
+        else:
+            # no DeltaLog: compute each parity delta here, fan out to
+            # ParityLogs (more network, more GF work at the data node)
+            for j, posd, pbid in self.parity_targets(block):
+                if posd.failed:
+                    continue  # its parity block is being re-encoded anyway
+                yield self.env.timeout(self.costs.gf_mul(size))
+                pdelta = gf_mul_scalar(self.parity_coef(j, block.idx), delta)
+                yield from self.forward(osd, posd, wire_size)
+                yield from self._paritylog_append(posd, pbid, offset, pdelta)
+
+    # -- stage 2: DeltaLog ----------------------------------------------------
+    def _recycle_deltalog_unit(
+        self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
+    ) -> Generator:
+        items = self.planner.plan(unit)
+        # group per stripe for Eq. (5) cross-block merging
+        per_stripe: dict[tuple[int, int], list] = defaultdict(list)
+        for work in items:
+            block = self._real_block(work.block)
+            per_stripe[(block.file_id, block.stripe)].append((block, work))
+        rs = self.ecfs.rs
+        for (file_id, stripe), works in per_stripe.items():
+            for j in range(rs.m):
+                pbid = BlockId(file_id, stripe, rs.k + j)
+                posd = self.ecfs.osd_hosting(pbid)
+                if posd.failed:
+                    continue  # re-encoded rebuild subsumes these deltas
+                if self.opts.backend_locality:
+                    merged = ExtentMap(MergePolicy.XOR)
+                    for block, work in works:
+                        coef = self.parity_coef(j, block.idx)
+                        for ext in work.extents:
+                            yield self.env.timeout(self.costs.gf_mul(ext.size))
+                            merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
+                    out = list(merged.extents())
+                else:
+                    out = []
+                    for block, work in works:
+                        coef = self.parity_coef(j, block.idx)
+                        for ext in work.extents:
+                            yield self.env.timeout(self.costs.gf_mul(ext.size))
+                            out.append(
+                                type(ext)(ext.start, gf_mul_scalar(coef, ext.data))
+                            )
+                for ext in out:
+                    yield from self.forward(osd, posd, ext.size)
+                    yield from self._paritylog_append(posd, pbid, ext.start, ext.data)
+
+    def _paritylog_append(
+        self, posd: OSD, pbid: BlockId, offset: int, pdelta: np.ndarray
+    ) -> Generator:
+        t0 = self.env.now
+        ppool = self._pool(posd, "paritylog", pbid)
+        yield from ppool.append(pbid, offset, pdelta)
+        yield from posd.io_log_append(
+            f"paritylog{self._pool_idx(pbid)}",
+            int(pdelta.shape[0]),
+            IOPriority.BACKGROUND,
+            tag="tsue-paritylog",
+        )
+        self.append_times["paritylog"].append(self.env.now - t0)
+
+    # -- stage 3: ParityLog ----------------------------------------------------
+    def _recycle_paritylog_unit(
+        self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
+    ) -> Generator:
+        items = self.planner.plan(unit)
+        lanes = list(self.planner.lanes(items))
+        procs = [
+            self.env.process(
+                self._paritylog_lane(osd, lane), name=f"tsue-plane-{osd.name}"
+            )
+            for lane in lanes
+        ]
+        if procs:
+            yield self.env.all_of(procs)
+
+    def _paritylog_lane(self, osd: OSD, lane_items) -> Generator:
+        for work in lane_items:
+            pbid = self._real_block(work.block)
+            for ext in work.extents:
+                yield from self.parity_rmw(
+                    osd, pbid, ext.start, ext.data,
+                    IOPriority.BACKGROUND, tag="tsue-pl-recycle",
+                )
+
+    # --------------------------------------------------------------- drain
+    def flush(self) -> Generator:
+        """Drain the pipeline layer by layer until every log is recycled."""
+        for layer in _LAYERS:
+            yield from self._drain_layer(layer)
+
+    def _drain_layer(self, layer: str) -> Generator:
+        while True:
+            busy = False
+            for osd in self.ecfs.osds:
+                if osd.failed:
+                    continue
+                for pool in self.pools[osd.name][layer]:
+                    pool.seal_active_if_dirty()
+                    if pool.backlog or len(pool.recyclable):
+                        busy = True
+            if not busy:
+                return
+            yield self.env.timeout(0.0001)
+
+    # ------------------------------------------------------------ recovery
+    def quiesce_node(self, victim: OSD) -> Generator:
+        """Let the victim's in-flight unit recycles finish before it fails.
+
+        A real deployment replays mid-recycle units idempotently from
+        sequence-numbered replicas; the model sidesteps that corner by
+        quiescing first (typically microseconds, thanks to real-time
+        recycling).
+        """
+        while any(
+            unit.state is LogUnitState.RECYCLING
+            for layers in (self.pools[victim.name],)
+            for pools in layers.values()
+            for pool in pools
+            for unit in pool.units
+        ):
+            yield self.env.timeout(0.0001)
+
+    def on_node_failed(self, victim: OSD) -> None:
+        """Stash the victim's unrecycled logs for replica-based replay.
+
+        DataLog extents will be merged onto the rebuilt data blocks (§4.2:
+        "the data log on this node can be obtained from one of the nodes
+        hosting its replica"); DeltaLog extents replay to surviving
+        ParityLogs from the 2nd-parity copy; ParityLog content is dropped —
+        the victim's parity blocks are re-encoded from up-to-date data.
+        """
+        def unrecycled(pool):
+            # RECYCLED units retain their index only as a read cache: their
+            # content is already merged and must NOT be replayed (deltas
+            # would double-apply).  Only live content counts.
+            for unit in pool.units:
+                if unit.used and unit.state in (
+                    LogUnitState.EMPTY,
+                    LogUnitState.RECYCLABLE,
+                ):
+                    yield unit
+
+        layers = self.pools[victim.name]
+        for pool in layers["datalog"]:
+            for unit in unrecycled(pool):
+                for key in list(unit.index.blocks()):
+                    block = self._real_block(key)
+                    exts = list(unit.index.extents(key))
+                    self._stash_data.setdefault(block, []).extend(exts)
+                    self._stash_bytes += sum(e.size for e in exts)
+        for pool in layers["deltalog"]:
+            for unit in unrecycled(pool):
+                for key in list(unit.index.blocks()):
+                    block = self._real_block(key)
+                    for ext in unit.index.extents(key):
+                        self._stash_delta.append((block, ext.start, ext.data))
+                        self._stash_bytes += ext.size
+        # victim pools are dead: empty them so drains skip their backlog
+        for pools in layers.values():
+            for pool in pools:
+                pool.units.clear()
+                pool.units.append(pool._new_unit())
+                pool.active = pool.units[0]
+                pool.recyclable.items.clear()
+
+    def pre_rebuild(self) -> Generator:
+        """Read stashed logs back from their replicas and replay the delta
+        layer into surviving ParityLogs (charged as recovery preparation)."""
+        if self._stash_bytes:
+            # one sequential read of the replicated log content per replica
+            rep = next(osd for osd in self.ecfs.osds if not osd.failed)
+            yield from rep.io_at(
+                IOKind.READ, 0, self._stash_bytes, stream="datalog-rep-replay",
+                tag="tsue-replay",
+            )
+        for block, offset, delta in self._stash_delta:
+            for j, posd, pbid in self.parity_targets(block):
+                if posd.failed:
+                    continue
+                yield self.env.timeout(self.costs.gf_mul(delta.shape[0]))
+                pdelta = gf_mul_scalar(self.parity_coef(j, block.idx), delta)
+                yield from self._paritylog_append(posd, pbid, offset, pdelta)
+        self._stash_delta.clear()
+        yield from self.flush()
+
+    def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
+        """Merge the victim's stashed DataLog extents onto a rebuilt block
+        and forward the resulting deltas down the normal pipeline."""
+        for ext in self._stash_data.pop(block, []):
+            old = rebuilt[ext.start : ext.end].copy()
+            yield self.env.timeout(self.costs.xor(ext.size))
+            rebuilt[ext.start : ext.end] = ext.data
+            yield from self._forward_delta(target, block, ext.start, old ^ ext.data)
+
+    def finalize_recovery(self) -> Generator:
+        yield from self.flush()
+
+    def recovery_prepare(self, osd: OSD) -> Generator:
+        # real-time recycling keeps debt tiny; drain whatever remains
+        yield from self.flush()
+
+    def degraded_overlay(
+        self, block: BlockId, offset: int, size: int, buf: np.ndarray
+    ) -> Generator:
+        """Degraded reads consult the dead node's DataLog via its replica
+        (§4.2: "the data log on this node can be obtained from one of the
+        nodes hosting its replica").
+
+        The replica is a raw on-SSD log (no index), so the consult costs a
+        sequential read of the log region at the replica node; the content
+        comes from the victim's still-known in-memory index (the model's
+        stand-in for replaying the replica bytes), or the recovery stash if
+        the victim's pools were already torn down.
+        """
+        home = self.ecfs.osd_hosting(block)
+        if not home.failed:
+            return buf
+        rep = self.ecfs.osds[self.ecfs.placement.replica_osd(block)]
+        if not rep.failed:
+            yield from rep.io_at(
+                IOKind.READ,
+                0,
+                max(size, 4096),
+                stream="datalog-rep-read",
+                tag="tsue-degraded",
+            )
+        end = offset + size
+        # victim's pools (pre-teardown) hold the authoritative log content
+        pools = self.pools.get(home.name)
+        if pools:
+            pool = pools["datalog"][self._pool_idx(block)]
+            pool.overlay(block, offset, size, buf)
+        # after on_node_failed, unrecycled extents live in the stash
+        for ext in self._stash_data.get(block, ()):
+            s, e = max(ext.start, offset), min(ext.end, end)
+            if s < e:
+                buf[s - offset : e - offset] = ext.data[s - ext.start : e - ext.start]
+        return buf
+
+    # ------------------------------------------------------------- metrics
+    def log_debt_bytes(self, osd: OSD) -> int:
+        """Unrecycled log bytes: content of EMPTY (active), RECYCLABLE and
+        RECYCLING units.  RECYCLED units retain ``used`` only as read-cache
+        metadata and carry no debt."""
+        live = (
+            LogUnitState.EMPTY,
+            LogUnitState.RECYCLABLE,
+            LogUnitState.RECYCLING,
+        )
+        return sum(
+            u.used
+            for layer in _LAYERS
+            for pool in self.pools[osd.name][layer]
+            for u in pool.units
+            if u.state in live
+        )
+
+    def memory_bytes(self, osd: OSD) -> int:
+        return sum(
+            pool.memory_bytes
+            for layer in _LAYERS
+            for pool in self.pools[osd.name][layer]
+        )
+
+    def peak_memory_bytes(self) -> int:
+        return sum(
+            pool.peak_units * pool.unit_size
+            for layers in self.pools.values()
+            for pools in layers.values()
+            for pool in pools
+        )
+
+    def residence_stats(self) -> dict[str, dict[str, float]]:
+        """Per-layer mean append/buffer/recycle seconds (Table 2)."""
+        out: dict[str, dict[str, float]] = {}
+        for layer in _LAYERS:
+            buffers: list[float] = []
+            recycles: list[float] = []
+            for layers in self.pools.values():
+                for pool in layers[layer]:
+                    for buf, rec in pool.residence:
+                        buffers.append(buf)
+                        recycles.append(rec)
+            appends = self.append_times[layer]
+            out[layer] = {
+                "append": float(np.mean(appends)) if appends else 0.0,
+                "buffer": float(np.mean(buffers)) if buffers else 0.0,
+                "recycle": float(np.mean(recycles)) if recycles else 0.0,
+            }
+        return out
+
+    def stall_stats(self) -> dict[str, float]:
+        stalls = stall_time = 0.0
+        for layers in self.pools.values():
+            for pools in layers.values():
+                for pool in pools:
+                    stalls += pool.stalls
+                    stall_time += pool.stall_time
+        return {"stalls": stalls, "stall_time": stall_time}
+
+    # ------------------------------------------------------------ internals
+    def _pool_idx(self, block: BlockId) -> int:
+        return self.ecfs.placement.pool_of(block) % self.n_pools
+
+    def _pool(self, osd: OSD, layer: str, block: BlockId) -> LogPool:
+        return self.pools[osd.name][layer][self._pool_idx(block)]
+
+    @staticmethod
+    def _real_block(key) -> BlockId:
+        return key.block if isinstance(key, RawKey) else key

@@ -1,0 +1,31 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_fig1_via_cli(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig.1" in out
+    assert "TSUE" in out
+
+
+def test_scale_flag_sets_env(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert main(["fig1", "--scale", "quick"]) == 0
+    import os
+
+    assert os.environ["REPRO_SCALE"] == "quick"

@@ -1,0 +1,203 @@
+"""Tests for placement, MDS, OSD primitives, and the ECFS facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockId, BlockKind, ClusterConfig, ECFS, Placement, block_kind
+from repro.common.errors import ConfigError, IntegrityError
+from repro.storage.base import IOKind
+
+
+def _small_config(**kw):
+    defaults = dict(n_osds=10, k=4, m=2, block_size=1 << 16, log_unit_size=1 << 17)
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+# ------------------------------------------------------------- placement
+def test_stripe_blocks_on_distinct_osds():
+    p = Placement(n_osds=16, k=6, m=4)
+    for fid in range(5):
+        for s in range(5):
+            osds = p.stripe_osds(fid, s)
+            assert len(set(osds)) == 10
+
+
+def test_placement_deterministic():
+    p = Placement(16, 6, 4)
+    b = BlockId(3, 7, 2)
+    assert p.osd_of(b) == p.osd_of(BlockId(3, 7, 2))
+
+
+def test_replica_osd_not_in_stripe():
+    p = Placement(16, 6, 4)
+    b = BlockId(1, 0, 0)
+    rep = p.replica_osd(b)
+    assert rep not in set(p.stripe_osds(1, 0))
+
+
+def test_replica_osd_full_width_falls_back_to_neighbour():
+    p = Placement(10, 6, 4)  # stripe covers every node
+    b = BlockId(1, 0, 2)
+    assert p.replica_osd(b) == (p.osd_of(b) + 1) % 10
+
+
+def test_parity_osds_match_block_indices():
+    p = Placement(16, 6, 4)
+    assert p.parity_osds(2, 3) == [p.osd_of(BlockId(2, 3, 6 + j)) for j in range(4)]
+
+
+def test_placement_needs_enough_nodes():
+    with pytest.raises(ValueError):
+        Placement(5, 4, 2)
+
+
+def test_block_kind():
+    assert block_kind(BlockId(1, 0, 3), k=4) is BlockKind.DATA
+    assert block_kind(BlockId(1, 0, 4), k=4) is BlockKind.PARITY
+
+
+def test_pool_of_stable_and_bounded():
+    p = Placement(16, 6, 4, log_pools=4)
+    for i in range(50):
+        b = BlockId(1, i, i % 10)
+        assert 0 <= p.pool_of(b) < 4
+        assert p.pool_of(b) == p.pool_of(b)
+
+
+# ------------------------------------------------------------------ MDS
+def test_mds_classify_write_then_update():
+    ecfs = ECFS(_small_config(), method="fo")
+    meta = ecfs.mds.create_file(1 << 18)
+    assert ecfs.mds.classify(meta.file_id, 0, 4096) == "write"
+    ecfs.mds.mark_written(meta.file_id, 0, 8192)
+    assert ecfs.mds.classify(meta.file_id, 0, 4096) == "update"
+    assert ecfs.mds.classify(meta.file_id, 4096, 8192) == "write"  # partial
+
+
+def test_mds_locate():
+    cfg = _small_config()
+    ecfs = ECFS(cfg, method="fo")
+    meta = ecfs.mds.create_file(cfg.k * cfg.block_size * 2)
+    block, off = ecfs.mds.locate(meta.file_id, cfg.block_size + 100, cfg.k)
+    assert block == BlockId(meta.file_id, 0, 1)
+    assert off == 100
+    block, _ = ecfs.mds.locate(meta.file_id, cfg.k * cfg.block_size, cfg.k)
+    assert block.stripe == 1
+
+
+def test_mds_bounds():
+    ecfs = ECFS(_small_config(), method="fo")
+    meta = ecfs.mds.create_file(1 << 16)
+    with pytest.raises(IntegrityError):
+        ecfs.mds.locate(meta.file_id, 1 << 20, 4)
+    with pytest.raises(IntegrityError):
+        ecfs.mds.lookup(999)
+
+
+def test_mds_heartbeat_failure_detection():
+    ecfs = ECFS(_small_config(), method="fo")
+    failed = []
+    ecfs.mds.on_failure = failed.append
+    ecfs.mds.heartbeat(0, now=0.0)
+    ecfs.mds.heartbeat(1, now=4.0)
+    assert ecfs.mds.check_liveness(now=6.0) == [0]
+    assert failed == [0]
+    assert ecfs.mds.check_liveness(now=6.5) == []  # not re-reported
+
+
+# ------------------------------------------------------------------ OSD
+def test_osd_block_io_bounds():
+    ecfs = ECFS(_small_config(), method="fo")
+    osd = ecfs.osds[0]
+    with pytest.raises(IntegrityError):
+        list(osd.io_block(IOKind.READ, BlockId(1, 0, 0), 0, 1 << 20))
+
+
+def test_osd_log_append_is_sequential():
+    ecfs = ECFS(_small_config(), method="fo")
+    osd = ecfs.osds[0]
+
+    def appends():
+        yield from osd.io_log_append("mylog", 4096)
+        yield from osd.io_log_append("mylog", 4096)
+        yield from osd.io_log_append("mylog", 4096)
+
+    ecfs.env.run(ecfs.env.process(appends()))
+    assert osd.device.counters.seq_ops == 2  # first op primes the stream
+
+
+def test_osd_failure_blocks_io():
+    ecfs = ECFS(_small_config(), method="fo")
+    osd = ecfs.osds[0]
+    osd.fail()
+    with pytest.raises(IntegrityError):
+        list(osd.io_log_append("log", 4096))
+
+
+def test_block_addr_stable():
+    ecfs = ECFS(_small_config(), method="fo")
+    osd = ecfs.osds[0]
+    a1 = osd.block_addr(BlockId(1, 0, 0))
+    a2 = osd.block_addr(BlockId(1, 0, 1))
+    assert a1 != a2
+    assert osd.block_addr(BlockId(1, 0, 0)) == a1
+
+
+# ----------------------------------------------------------------- ECFS
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ClusterConfig(n_osds=8, k=6, m=4).validate()
+    with pytest.raises(ConfigError):
+        ClusterConfig(block_size=0).validate()
+    with pytest.raises(ConfigError):
+        ClusterConfig(device="tape").validate()
+
+
+def test_populate_random_creates_consistent_stripes():
+    ecfs = ECFS(_small_config(), method="fo")
+    files = ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
+    assert ecfs.verify() == 2
+    assert len(ecfs.known_blocks) == 2 * (4 + 2)
+    assert ecfs.mds.classify(files[0], 0, 4096) == "update"
+
+
+def test_populate_zeros_fast_path():
+    ecfs = ECFS(_small_config(), method="fo")
+    ecfs.populate(n_files=1, stripes_per_file=1, fill="zeros")
+    assert ecfs.verify() == 1
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(KeyError):
+        ECFS(_small_config(), method="nope")
+
+
+def test_normal_write_path_via_client():
+    """Full-stripe write: client encodes, blocks land on the right OSDs."""
+    cfg = _small_config()
+    ecfs = ECFS(cfg, method="fo")
+    meta = ecfs.mds.create_file(cfg.k * cfg.block_size)
+    (client,) = ecfs.add_clients(1)
+    ecfs.known_blocks.update(
+        BlockId(meta.file_id, 0, i) for i in range(cfg.k + cfg.m)
+    )
+    ecfs.env.run(ecfs.env.process(client.write_stripe(meta.file_id, 0)))
+    assert ecfs.verify() == 1
+    assert ecfs.env.now > 0  # encoding + transfers + writes took time
+
+
+def test_read_returns_committed_data():
+    cfg = _small_config()
+    ecfs = ECFS(cfg, method="tsue")
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+
+    def flow():
+        yield ecfs.env.process(client.update(files[0], 4096, 4096))
+        data = yield ecfs.env.process(client.read(files[0], 4096, 4096))
+        return data
+
+    data = ecfs.env.run(ecfs.env.process(flow()))
+    expected = ecfs.oracle.expected(BlockId(files[0], 0, 0))[4096:8192]
+    assert np.array_equal(data, expected)

@@ -1,0 +1,212 @@
+"""Tests for degraded reads and heartbeat failure detection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BlockId,
+    ClusterConfig,
+    ECFS,
+    HeartbeatService,
+    RecoveryManager,
+)
+from repro.common.errors import DecodeError
+
+
+def _cluster(method="tsue", **kw):
+    defaults = dict(
+        n_osds=10, k=4, m=2, block_size=1 << 16, log_unit_size=1 << 17, seed=61
+    )
+    defaults.update(kw)
+    return ECFS(ClusterConfig(**defaults), method=method)
+
+
+# ---------------------------------------------------------- degraded reads
+def test_degraded_read_returns_correct_bytes():
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    env = ecfs.env
+
+    def flow():
+        yield env.process(client.update(files[0], 4096, 4096))
+        # drain so the update reaches the data block before the node dies
+        yield env.process(ecfs.method.flush())
+        block, _ = ecfs.mds.locate(files[0], 4096, ecfs.rs.k)
+        ecfs.osd_hosting(block).fail()
+        data = yield env.process(client.read(files[0], 4096, 4096))
+        return data
+
+    data = env.run(env.process(flow()))
+    block, _ = ecfs.mds.locate(files[0], 4096, ecfs.rs.k)
+    expected = ecfs.oracle.expected(block)[4096:8192]
+    assert np.array_equal(data, expected)
+
+
+def test_degraded_read_costs_more_than_normal():
+    ecfs = _cluster(method="fo")
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    env = ecfs.env
+
+    def normal():
+        yield env.process(client.read(files[0], 0, 4096))
+
+    env.run(env.process(normal()))
+    normal_lat = ecfs.metrics.reads.latencies[-1]
+
+    block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+    ecfs.osd_hosting(block).fail()
+
+    def degraded():
+        yield env.process(client.read(files[0], 0, 4096))
+
+    env.run(env.process(degraded()))
+    degraded_lat = ecfs.metrics.reads.latencies[-1]
+    assert degraded_lat > normal_lat  # k fetches + decode beat one fetch
+
+
+def test_degraded_read_too_many_failures():
+    ecfs = _cluster(method="fo", n_osds=12, m=2)
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    # kill three nodes of the stripe: beyond m=2 tolerance
+    killed = 0
+    for i in range(ecfs.rs.k + ecfs.rs.m):
+        bid = BlockId(files[0], 0, i)
+        osd = ecfs.osd_hosting(bid)
+        if not osd.failed:
+            osd.fail()
+            killed += 1
+        if killed == 3:
+            break
+    with pytest.raises(DecodeError):
+        ecfs.env.run(ecfs.env.process(client.read(files[0], 0, 4096)))
+
+
+# ------------------------------------------------------------- heartbeats
+def test_heartbeat_detects_failure_within_timeout():
+    ecfs = _cluster(method="fo")
+    ecfs.populate(n_files=1, stripes_per_file=1, fill="zeros")
+    service = HeartbeatService(ecfs, interval=0.5, timeout=2.0)
+    service.start()
+    env = ecfs.env
+    env.run(until=3.0)
+    assert service.detected == []  # everyone healthy
+    ecfs.osds[4].fail()
+    env.run(until=10.0)
+    assert [idx for idx, _t in service.detected] == [4]
+    _, t_detect = service.detected[0]
+    assert 3.0 < t_detect <= 3.0 + 2.0 + 1.0  # within timeout + one period
+
+
+def test_heartbeat_triggers_user_callback():
+    ecfs = _cluster(method="fo")
+    ecfs.populate(n_files=1, stripes_per_file=1, fill="zeros")
+    fired = []
+    service = HeartbeatService(
+        ecfs, interval=0.5, timeout=1.5, on_failure=fired.append
+    )
+    service.start()
+    ecfs.osds[2].fail()
+    ecfs.env.run(until=5.0)
+    assert fired == [2]
+
+
+def test_heartbeat_validation():
+    ecfs = _cluster(method="fo")
+    with pytest.raises(ValueError):
+        HeartbeatService(ecfs, interval=1.0, timeout=0.5)
+
+
+def test_heartbeat_then_automatic_recovery():
+    """End to end: heartbeat detects, callback launches recovery, reads
+    continue via degraded path meanwhile, verify passes afterwards."""
+    ecfs = _cluster(method="fo")
+    files = ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
+    env = ecfs.env
+    manager = RecoveryManager(ecfs)
+    reports = []
+
+    def recover(idx):
+        def job():
+            report = yield env.process(manager.fail_and_recover(idx))
+            reports.append(report)
+
+        env.process(job(), name="auto-recover")
+
+    service = HeartbeatService(ecfs, interval=0.5, timeout=1.5, on_failure=recover)
+    service.start()
+    ecfs.osds[0].fail()
+    env.run(until=15.0)
+    assert len(reports) == 1
+    assert reports[0].blocks_rebuilt >= 1
+    assert ecfs.verify() == 2
+
+
+# ------------------------------------------------------------ compression
+def test_tsue_delta_compression_reduces_traffic():
+    from repro.update.tsue import TSUEOptions
+
+    def net_bytes(compress):
+        opts = TSUEOptions(compress_deltas=compress, compression_ratio=0.5)
+        ecfs = _cluster(method="tsue", seed=62)
+        ecfs.method.opts = opts  # same cluster build, different options
+        files = ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
+        (client,) = ecfs.add_clients(1)
+
+        def flow():
+            for i in range(30):
+                yield ecfs.env.process(client.update(files[0], i * 8192, 4096))
+
+        ecfs.env.run(ecfs.env.process(flow()))
+        ecfs.drain()
+        ecfs.verify()
+        return ecfs.net.total_bytes
+
+    assert net_bytes(True) < net_bytes(False)
+
+
+def test_degraded_read_overlays_unrecycled_datalog():
+    """The paper's §4.2 story: a node dies with an acked update still in
+    its DataLog; degraded reads consult the replica log and return the NEW
+    bytes, not the decode of the stale stripe."""
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    env = ecfs.env
+
+    def flow():
+        yield env.process(client.update(files[0], 4096, 4096))
+        block, _ = ecfs.mds.locate(files[0], 4096, ecfs.rs.k)
+        ecfs.osd_hosting(block).fail()  # update only in the victim's log
+        data = yield env.process(client.read(files[0], 4096, 4096))
+        return data
+
+    data = env.run(env.process(flow()))
+    block, _ = ecfs.mds.locate(files[0], 4096, ecfs.rs.k)
+    expected = ecfs.oracle.expected(block)[4096:8192]
+    assert np.array_equal(data, expected)
+
+
+def test_degraded_overlay_survives_stash_transition():
+    """After on_node_failed tears the victim's pools down, the recovery
+    stash still answers degraded reads."""
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    env = ecfs.env
+
+    def flow():
+        yield env.process(client.update(files[0], 0, 4096))
+        block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+        victim = ecfs.osd_hosting(block)
+        victim.fail()
+        ecfs.method.on_node_failed(victim)  # pools -> stash
+        data = yield env.process(client.read(files[0], 0, 4096))
+        return data
+
+    data = env.run(env.process(flow()))
+    block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+    expected = ecfs.oracle.expected(block)[:4096]
+    assert np.array_equal(data, expected)

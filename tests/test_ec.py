@@ -1,0 +1,179 @@
+"""Unit + property tests for Reed-Solomon coding and incremental updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError, DecodeError
+from repro.ec import (
+    RSCode,
+    apply_parity_delta,
+    cauchy_matrix,
+    coding_matrix,
+    data_delta,
+    merge_deltas_same_address,
+    parity_delta,
+    stripe_parity_delta,
+    vandermonde_matrix,
+)
+from repro.gf.matrix import gf_mat_rank
+
+
+def _stripe(rs, size=1024, seed=0):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(rs.k)]
+    return data, rs.encode(data)
+
+
+# ----------------------------------------------------------------- matrices
+def test_cauchy_full_rank_rows():
+    m = cauchy_matrix(6, 3)
+    assert m.shape == (3, 6)
+    assert gf_mat_rank(m) == 3
+
+
+def test_vandermonde_first_row_is_ones():
+    m = vandermonde_matrix(5, 3)
+    assert (m[0] == 1).all()
+
+
+def test_coding_matrix_rejects_bad_kind():
+    with pytest.raises(ConfigError):
+        coding_matrix(4, 2, "bogus")
+
+
+def test_coding_matrix_rejects_overflow():
+    with pytest.raises(ConfigError):
+        coding_matrix(200, 100)
+
+
+# ---------------------------------------------------------------- RS basics
+def test_encode_shapes_and_verify():
+    rs = RSCode(4, 2)
+    data, parity = _stripe(rs)
+    assert len(parity) == 2
+    assert all(p.shape == (1024,) for p in parity)
+    assert rs.verify(data, parity)
+
+
+def test_verify_detects_corruption():
+    rs = RSCode(4, 2)
+    data, parity = _stripe(rs)
+    parity[0][10] ^= 0xFF
+    assert not rs.verify(data, parity)
+
+
+def test_unequal_block_sizes_rejected():
+    rs = RSCode(2, 1)
+    with pytest.raises(ConfigError):
+        rs.encode([np.zeros(8, dtype=np.uint8), np.zeros(9, dtype=np.uint8)])
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        RSCode(0, 2)
+    with pytest.raises(ConfigError):
+        RSCode(2, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=8),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_any_m_erasures_recoverable(k, m, seed):
+    rng = np.random.default_rng(seed)
+    rs = RSCode(k, m)
+    data, parity = _stripe(rs, size=256, seed=seed)
+    full = {i: b for i, b in enumerate(data)}
+    full.update({k + j: p for j, p in enumerate(parity)})
+    erased = sorted(rng.choice(k + m, size=m, replace=False).tolist())
+    survivors = {i: v for i, v in full.items() if i not in erased}
+    rebuilt = rs.decode(survivors, erased)
+    for e in erased:
+        assert np.array_equal(rebuilt[e], full[e])
+
+
+def test_too_many_erasures_rejected():
+    rs = RSCode(4, 2)
+    data, parity = _stripe(rs)
+    full = {i: b for i, b in enumerate(data)}
+    full.update({4 + j: p for j, p in enumerate(parity)})
+    survivors = {i: v for i, v in full.items() if i > 2}
+    with pytest.raises(DecodeError):
+        rs.decode(survivors, [0, 1, 2])
+
+
+def test_decode_with_no_erasures_is_empty():
+    rs = RSCode(3, 2)
+    data, parity = _stripe(rs)
+    assert rs.decode({i: b for i, b in enumerate(data)}, []) == {}
+
+
+def test_decode_insufficient_survivors():
+    rs = RSCode(4, 2)
+    data, _ = _stripe(rs)
+    with pytest.raises(DecodeError):
+        rs.decode({0: data[0], 1: data[1]}, [2])
+
+
+# --------------------------------------------------------------- increments
+def test_parity_delta_matches_reencode():
+    """Eq. (2): applying a_ij * (D'-D) to P gives the re-encoded parity."""
+    rs = RSCode(5, 3)
+    data, parity = _stripe(rs, seed=3)
+    rng = np.random.default_rng(4)
+    new_block = rng.integers(0, 256, 1024, dtype=np.uint8)
+
+    delta = data_delta(new_block, data[2])
+    for j in range(rs.m):
+        pd = parity_delta(int(rs.coding[j, 2]), delta)
+        updated = apply_parity_delta(parity[j], pd)
+        reencoded = rs.encode([new_block if i == 2 else data[i] for i in range(5)])
+        assert np.array_equal(updated, reencoded[j])
+
+
+def test_data_delta_shape_mismatch():
+    with pytest.raises(ValueError):
+        data_delta(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31))
+def test_merged_deltas_telescope(n_updates, seed):
+    """Eq. (3)/(4): folding n successive deltas equals newest ^ original."""
+    rng = np.random.default_rng(seed)
+    versions = [rng.integers(0, 256, 64, dtype=np.uint8) for _ in range(n_updates + 1)]
+    deltas = [versions[i + 1] ^ versions[i] for i in range(n_updates)]
+    merged = merge_deltas_same_address(deltas)
+    assert np.array_equal(merged, versions[-1] ^ versions[0])
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValueError):
+        merge_deltas_same_address([])
+
+
+def test_stripe_parity_delta_matches_full_reencode():
+    """Eq. (5): cross-block merged delta equals re-encoding the stripe."""
+    rs = RSCode(6, 3)
+    data, parity = _stripe(rs, seed=7)
+    rng = np.random.default_rng(8)
+    new = {1: rng.integers(0, 256, 1024, dtype=np.uint8),
+           4: rng.integers(0, 256, 1024, dtype=np.uint8)}
+    block_deltas = {i: new[i] ^ data[i] for i in new}
+
+    updated_data = [new.get(i, data[i]) for i in range(6)]
+    reencoded = rs.encode(updated_data)
+    for j in range(rs.m):
+        pd = stripe_parity_delta(rs.coding[j], block_deltas)
+        assert np.array_equal(apply_parity_delta(parity[j], pd), reencoded[j])
+
+
+def test_stripe_parity_delta_validations():
+    rs = RSCode(3, 1)
+    with pytest.raises(ValueError):
+        stripe_parity_delta(rs.coding[0], {})
+    with pytest.raises(ValueError):
+        stripe_parity_delta(rs.coding[0], {5: np.zeros(4, dtype=np.uint8)})

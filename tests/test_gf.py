@@ -1,0 +1,166 @@
+"""Unit + property tests for GF(2^8) arithmetic and matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DecodeError
+from repro.gf import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mat_rank,
+    gf_mat_vec,
+    gf_mul,
+    gf_mul_scalar,
+    gf_pow,
+    identity,
+)
+
+scalars = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+# ------------------------------------------------------------------ field
+def test_add_is_xor():
+    a = np.arange(256, dtype=np.uint8)
+    b = np.arange(256, dtype=np.uint8)[::-1].copy()
+    assert np.array_equal(gf_add(a, b), a ^ b)
+
+
+def test_mul_identity_and_zero():
+    a = np.arange(256, dtype=np.uint8)
+    assert np.array_equal(gf_mul(a, np.uint8(1)), a)
+    assert not gf_mul(a, np.uint8(0)).any()
+
+
+@given(nonzero, nonzero)
+def test_mul_commutative(a, b):
+    assert gf_mul(np.uint8(a), np.uint8(b)) == gf_mul(np.uint8(b), np.uint8(a))
+
+
+@given(scalars, scalars, scalars)
+def test_mul_associative(a, b, c):
+    ab_c = gf_mul(gf_mul(np.uint8(a), np.uint8(b)), np.uint8(c))
+    a_bc = gf_mul(np.uint8(a), gf_mul(np.uint8(b), np.uint8(c)))
+    assert ab_c == a_bc
+
+
+@given(scalars, scalars, scalars)
+def test_mul_distributes_over_add(a, b, c):
+    left = gf_mul(np.uint8(a), np.uint8(b ^ c))
+    right = gf_mul(np.uint8(a), np.uint8(b)) ^ gf_mul(np.uint8(a), np.uint8(c))
+    assert left == right
+
+
+@given(nonzero)
+def test_inverse_roundtrip(a):
+    assert gf_mul(np.uint8(a), np.uint8(gf_inv(a))) == 1
+
+
+def test_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@given(scalars, nonzero)
+def test_div_is_mul_by_inverse(a, b):
+    assert gf_div(np.uint8(a), np.uint8(b)) == gf_mul(np.uint8(a), np.uint8(gf_inv(b)))
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_div(np.uint8(3), np.uint8(0))
+
+
+@given(nonzero, st.integers(min_value=0, max_value=300))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = int(gf_mul(np.uint8(expected), np.uint8(a)))
+    assert gf_pow(a, n) == expected
+
+
+def test_pow_negative_raises():
+    with pytest.raises(ValueError):
+        gf_pow(2, -1)
+
+
+def test_mul_scalar_matches_elementwise():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, 4096, dtype=np.uint8)
+    for coef in (0, 1, 2, 0x1D, 255):
+        assert np.array_equal(
+            gf_mul_scalar(coef, data), gf_mul(np.uint8(coef), data)
+        )
+
+
+def test_mul_scalar_out_of_range():
+    with pytest.raises(ValueError):
+        gf_mul_scalar(256, np.zeros(4, dtype=np.uint8))
+
+
+def test_mul_scalar_returns_copy():
+    data = np.ones(8, dtype=np.uint8)
+    out = gf_mul_scalar(1, data)
+    out[0] = 99
+    assert data[0] == 1
+
+
+# ----------------------------------------------------------------- matrix
+def test_identity_is_multiplicative_identity():
+    rng = np.random.default_rng(1)
+    m = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+    assert np.array_equal(gf_mat_mul(identity(5), m), m)
+    assert np.array_equal(gf_mat_mul(m, identity(5)), m)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31))
+def test_matrix_inverse_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    # random matrices over GF(256) are invertible with high probability;
+    # retry until one is
+    for _ in range(20):
+        m = rng.integers(0, 256, (n, n), dtype=np.uint8)
+        if gf_mat_rank(m) == n:
+            break
+    else:
+        pytest.skip("no invertible matrix found")
+    inv = gf_mat_inv(m)
+    assert np.array_equal(gf_mat_mul(inv, m), identity(n))
+    assert np.array_equal(gf_mat_mul(m, inv), identity(n))
+
+
+def test_singular_matrix_raises():
+    m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(DecodeError):
+        gf_mat_inv(m)
+
+
+def test_non_square_inverse_rejected():
+    with pytest.raises(ValueError):
+        gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_rank_of_rectangular():
+    m = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.uint8)
+    assert gf_mat_rank(m) == 2
+    m2 = np.array([[1, 2, 3], [2, 4, 6]], dtype=np.uint8)
+    # row 2 = 2 * row 1 over GF(256)? 2*3 = 6 in GF(256), 2*2=4, 2*1=2 -> yes
+    assert gf_mat_rank(m2) == 1
+
+
+def test_mat_vec_matches_mat_mul():
+    rng = np.random.default_rng(2)
+    m = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+    x = rng.integers(0, 256, 4, dtype=np.uint8)
+    assert np.array_equal(gf_mat_vec(m, x), gf_mat_mul(m, x[:, None])[:, 0])
+
+
+def test_mat_mul_shape_mismatch():
+    with pytest.raises(ValueError):
+        gf_mat_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))

@@ -1,0 +1,76 @@
+"""Unit tests for the two-level index."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import TwoLevelIndex
+from repro.core.intervals import MergePolicy
+
+
+def _bytes(seed, n):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8)
+
+
+def test_blocks_are_independent():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE)
+    idx.insert("a", 0, _bytes(0, 8))
+    idx.insert("b", 0, _bytes(1, 8))
+    assert len(idx) == 2
+    assert not np.array_equal(idx.lookup("a", 0, 8), idx.lookup("b", 0, 8))
+
+
+def test_lookup_full_hit_and_miss():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE)
+    data = _bytes(0, 16)
+    idx.insert("blk", 64, data)
+    assert np.array_equal(idx.lookup("blk", 64, 16), data)
+    assert np.array_equal(idx.lookup("blk", 68, 4), data[4:8])
+    assert idx.lookup("blk", 60, 16) is None
+    assert idx.lookup("other", 64, 16) is None
+
+
+def test_bitmap_fast_path_rejects_unwritten_pages():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE, block_size=64 * 1024)
+    idx.insert("blk", 0, _bytes(0, 4096))
+    # second page never written: bitmap must answer without extent walk
+    assert idx.lookup("blk", 8192, 100) is None
+    assert not idx.covers_any("blk", 8192, 100)
+    assert idx.covers_any("blk", 0, 100)
+
+
+def test_bitmap_spanning_pages():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE, block_size=64 * 1024)
+    data = _bytes(0, 8192)
+    idx.insert("blk", 2048, data)  # spans pages 0..2
+    assert np.array_equal(idx.lookup("blk", 2048, 8192), data)
+
+
+def test_totals_and_clear():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE)
+    for i in range(5):
+        idx.insert("blk", i * 100, _bytes(i, 10))
+    assert idx.total_extents == 5
+    assert idx.total_records_absorbed == 5
+    assert idx.live_bytes == 50
+    idx.clear()
+    assert len(idx) == 0
+    assert idx.total_extents == 0
+
+
+def test_extents_iteration():
+    idx = TwoLevelIndex(MergePolicy.XOR)
+    idx.insert("blk", 0, _bytes(0, 4))
+    idx.insert("blk", 4, _bytes(1, 4))  # coalesces
+    exts = list(idx.extents("blk"))
+    assert len(exts) == 1
+    assert exts[0].size == 8
+    assert list(idx.extents("missing")) == []
+
+
+def test_merging_within_block():
+    idx = TwoLevelIndex(MergePolicy.OVERWRITE)
+    new = _bytes(1, 8)
+    idx.insert("blk", 0, _bytes(0, 8))
+    idx.insert("blk", 0, new)
+    assert idx.total_extents == 1
+    assert np.array_equal(idx.lookup("blk", 0, 8), new)

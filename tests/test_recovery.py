@@ -1,0 +1,113 @@
+"""Node failure and recovery tests (Fig. 8b's machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockId, ClusterConfig, ECFS, RecoveryManager
+from repro.traces import TraceReplayer, generate_trace, tencloud_spec
+
+
+def _cluster(method, **kw):
+    defaults = dict(
+        n_osds=10, k=4, m=2, block_size=1 << 16, log_unit_size=1 << 17, seed=21
+    )
+    defaults.update(kw)
+    return ECFS(ClusterConfig(**defaults), method=method)
+
+
+def _updates_then_fail(ecfs, n_ops=120, fail_osd=0):
+    files = ecfs.populate(n_files=2, stripes_per_file=2, fill="random")
+    fsize = ecfs.mds.lookup(files[0]).size
+    trace = generate_trace(tencloud_spec(), n_ops, files, fsize, seed=3)
+    TraceReplayer(ecfs, trace).run(n_clients=4)
+    manager = RecoveryManager(ecfs)
+    report = ecfs.env.run(
+        ecfs.env.process(manager.fail_and_recover(fail_osd), name="rec")
+    )
+    return files, manager, report
+
+
+@pytest.mark.parametrize("method", ["fo", "pl", "parix", "tsue"])
+def test_recovered_blocks_are_byte_correct(method):
+    ecfs = _cluster(method)
+    _files, manager, report = _updates_then_fail(ecfs)
+    assert report.blocks_rebuilt == len(
+        [b for b in ecfs.known_blocks if ecfs.placement.osd_of(b) == 0]
+    )
+    # every rebuilt block must match the oracle / re-encode
+    ecfs.drain()
+    for block, new_home in ecfs._placement_override.items():
+        osd = ecfs.osds[new_home]
+        got = osd.store.view(block)
+        if block.idx < ecfs.rs.k:
+            assert np.array_equal(got, ecfs.oracle.expected(block))
+
+
+def test_recovery_after_drain_verifies_cluster():
+    ecfs = _cluster("tsue")
+    _updates_then_fail(ecfs)
+    ecfs.drain()
+    # verify every stripe (reads follow the placement override)
+    assert ecfs.verify() == 4
+
+
+def test_fo_recovery_has_no_prepare_cost():
+    ecfs = _cluster("fo")
+    _files, _m, report = _updates_then_fail(ecfs)
+    assert report.prepare_seconds == 0.0
+    assert report.bandwidth > 0
+
+
+def test_pl_recovery_pays_log_settlement():
+    """PL must merge parity logs before rebuild: prepare time > 0."""
+    ecfs = _cluster("pl")
+    _files, _m, report = _updates_then_fail(ecfs)
+    assert report.prepare_seconds > 0
+
+
+def test_tsue_prepare_cheaper_than_pl():
+    """Real-time recycling means TSUE enters recovery with ~no log debt."""
+    pl = _cluster("pl", seed=22)
+    _f, _m, pl_report = _updates_then_fail(pl)
+    tsue = _cluster("tsue", seed=22)
+    _f, _m, tsue_report = _updates_then_fail(tsue)
+    assert tsue_report.prepare_seconds < pl_report.prepare_seconds
+
+
+def test_recovery_bandwidth_definition():
+    ecfs = _cluster("fo")
+    _files, _m, report = _updates_then_fail(ecfs)
+    expected = report.bytes_rebuilt / (
+        report.prepare_seconds + report.rebuild_seconds
+    )
+    assert report.bandwidth == pytest.approx(expected)
+
+
+def test_failed_node_not_used_as_source():
+    ecfs = _cluster("fo")
+    manager = RecoveryManager(ecfs)
+    ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
+    report = ecfs.env.run(ecfs.env.process(manager.fail_and_recover(3)))
+    assert ecfs.osds[3].failed
+    for block in ecfs._placement_override.values():
+        assert block != 3
+
+
+def test_two_failures_within_tolerance_recoverable():
+    ecfs = _cluster("fo", n_osds=12)
+    ecfs.populate(n_files=1, stripes_per_file=3, fill="random")
+    manager = RecoveryManager(ecfs)
+    env = ecfs.env
+    env.run(env.process(manager.fail_and_recover(0)))
+    env.run(env.process(manager.fail_and_recover(1)))
+    assert ecfs.verify() == 3
+
+
+def test_lost_blocks_enumeration():
+    ecfs = _cluster("fo")
+    ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
+    manager = RecoveryManager(ecfs)
+    lost = manager.lost_blocks(0)
+    assert all(ecfs.placement.osd_of(b) == 0 for b in lost)
+    total = sum(len(manager.lost_blocks(i)) for i in range(10))
+    assert total == len(ecfs.known_blocks)

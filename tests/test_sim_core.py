@@ -1,0 +1,266 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.5)
+        yield env.timeout(0.5)
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(2.0)
+
+
+def test_timeout_value_delivered():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    def firer():
+        yield env.timeout(3.0)
+        ev.succeed(42)
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == [42]
+    assert env.now == pytest.approx(3.0)
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    ev.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_raises_from_run():
+    env = Environment()
+
+    def proc():
+        raise ValueError("unhandled")
+        yield  # pragma: no cover
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_process_return_value_via_yield():
+    env = Environment()
+    results = []
+
+    def child():
+        yield env.timeout(1)
+        return "done"
+
+    def parent():
+        value = yield env.process(child())
+        results.append(value)
+
+    env.process(parent())
+    env.run()
+    assert results == ["done"]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2)
+        return 99
+
+    proc = env.process(child())
+    assert env.run(proc) == 99
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+
+    env.process(ticker())
+    env.run(until=5.5)
+    assert env.now == pytest.approx(5.5)
+
+
+def test_run_until_past_time_raises():
+    env = Environment()
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        results = yield env.all_of([t1, t2])
+        done.append(sorted(results.values()))
+
+    env.process(proc())
+    env.run()
+    assert done == [["a", "b"]]
+    assert env.now == pytest.approx(3.0)
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.any_of([env.timeout(1), env.timeout(5)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [pytest.approx(1.0)]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    caught = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            caught.append((intr.cause, env.now))
+
+    def attacker(proc):
+        yield env.timeout(1)
+        proc.interrupt("failure-injection")
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    # interrupt delivered at t=1 (the abandoned timeout still drains later)
+    assert caught == [("failure-injection", 1.0)]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0)
+
+    proc = env.process(quick())
+    env.run()
+    proc.interrupt()  # must not raise
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_cross_environment_event_rejected():
+    env1, env2 = Environment(), Environment()
+    foreign = env2.event()
+
+    def proc():
+        yield foreign
+
+    env1.process(proc())
+    foreign.succeed()
+    with pytest.raises(SimulationError):
+        env1.run()
+
+
+def test_event_ordering_fifo_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in "abc":
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == pytest.approx(7.0)
+    env.run()
+    assert env.peek() == float("inf")

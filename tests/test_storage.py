@@ -1,0 +1,234 @@
+"""Unit tests for device models, wear accounting, and the block store."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.sim import Environment
+from repro.storage import (
+    BlockStore,
+    FlashWearModel,
+    HDDevice,
+    HDDParams,
+    IOKind,
+    IORequest,
+    SSDevice,
+    SSDParams,
+)
+from repro.storage.base import IOPriority
+
+
+def _io(env, dev, *reqs):
+    def proc():
+        for r in reqs:
+            yield env.process(dev.submit(r))
+
+    env.run(env.process(proc()))
+
+
+# ------------------------------------------------------------------- SSD
+def test_ssd_sequential_detection():
+    env = Environment()
+    ssd = SSDevice(env, "s")
+    _io(
+        env, ssd,
+        IORequest(IOKind.WRITE, 0, 4096, stream="log"),
+        IORequest(IOKind.WRITE, 4096, 4096, stream="log"),
+        IORequest(IOKind.WRITE, 1 << 30, 4096, stream="log"),  # jump: random
+    )
+    assert ssd.counters.seq_ops == 1
+    assert ssd.counters.rand_ops == 2
+
+
+def test_ssd_streams_tracked_independently():
+    env = Environment()
+    ssd = SSDevice(env, "s")
+    _io(
+        env, ssd,
+        IORequest(IOKind.WRITE, 0, 4096, stream="a"),
+        IORequest(IOKind.WRITE, 1 << 20, 4096, stream="b"),
+        IORequest(IOKind.WRITE, 4096, 4096, stream="a"),  # sequential in a
+        IORequest(IOKind.WRITE, (1 << 20) + 4096, 4096, stream="b"),
+    )
+    assert ssd.counters.seq_ops == 2
+
+
+def test_ssd_random_slower_than_sequential():
+    env = Environment()
+    ssd = SSDevice(env, "s")
+    p = ssd.params
+    seq = IORequest(IOKind.READ, 4096, 4096, stream="s")
+    rand = IORequest(IOKind.READ, 1 << 28, 4096, stream="r")
+    ssd._stream_end["s"] = 4096  # prime sequential history
+    assert ssd.estimate(rand) > 3 * ssd.estimate(seq)
+    assert ssd.estimate(rand) == pytest.approx(p.rand_read_lat + 4096 / p.seq_read_bw)
+
+
+def test_ssd_queueing_serializes_beyond_channels():
+    env = Environment()
+    ssd = SSDevice(env, "s", SSDParams(channels=1))
+    t_one = ssd.estimate(IORequest(IOKind.READ, 1 << 28, 4096, stream="x"))
+    reqs = [IORequest(IOKind.READ, (i + 7) << 28, 4096, stream=f"r{i}") for i in range(4)]
+    done = []
+
+    def proc(r):
+        yield env.process(ssd.submit(r))
+        done.append(env.now)
+
+    for r in reqs:
+        env.process(proc(r))
+    env.run()
+    assert done[-1] == pytest.approx(4 * t_one)
+
+
+def test_ssd_priority_queue_favors_foreground():
+    env = Environment()
+    ssd = SSDevice(env, "s", SSDParams(channels=1))
+    order = []
+
+    def submit(tag, prio, delay):
+        yield env.timeout(delay)
+        yield env.process(
+            ssd.submit(
+                IORequest(IOKind.READ, hash(tag) % (1 << 30), 4096,
+                          stream=tag, priority=prio)
+            )
+        )
+        order.append(tag)
+
+    env.process(submit("hold", IOPriority.FOREGROUND, 0))
+    env.process(submit("bg", IOPriority.BACKGROUND, 1e-6))
+    env.process(submit("fg", IOPriority.FOREGROUND, 2e-6))
+    env.run()
+    assert order == ["hold", "fg", "bg"]
+
+
+def test_counters_overwrite_accounting():
+    env = Environment()
+    ssd = SSDevice(env, "s")
+    _io(
+        env, ssd,
+        IORequest(IOKind.WRITE, 0, 4096, stream="x", overwrite=True),
+        IORequest(IOKind.WRITE, 1 << 20, 8192, stream="x"),
+        IORequest(IOKind.READ, 0, 4096, stream="x"),
+    )
+    c = ssd.counters
+    assert c.writes == 2 and c.reads == 1
+    assert c.overwrites == 1
+    assert c.overwrite_bytes == 4096
+    assert c.write_bytes == 4096 + 8192
+
+
+def test_invalid_requests_rejected():
+    with pytest.raises(ValueError):
+        IORequest(IOKind.READ, 0, 0)
+    with pytest.raises(ValueError):
+        IORequest(IOKind.READ, -1, 10)
+
+
+# ------------------------------------------------------------------- HDD
+def test_hdd_seek_dominates_random():
+    env = Environment()
+    hdd = HDDevice(env, "h")
+    p = hdd.params
+    rand = IORequest(IOKind.READ, 1 << 30, 4096, stream="r")
+    est = hdd.estimate(rand)
+    assert est == pytest.approx(p.avg_seek + p.avg_rotation + 4096 / p.seq_bw)
+    # the random/sequential gap on HDD is much larger than on SSD
+    hdd._stream_end["s"] = 4096
+    seq = IORequest(IOKind.READ, 4096, 4096, stream="s")
+    assert est / hdd.estimate(seq) > 50
+
+
+def test_hdd_single_channel():
+    env = Environment()
+    hdd = HDDevice(env, "h")
+    assert hdd.resource.capacity == 1
+
+
+# ------------------------------------------------------------------ wear
+def test_wear_random_write_programs_full_page():
+    w = FlashWearModel(page_size=16384)
+    w.record_write(4096, sequential=False, overwrite=False, stream="x")
+    assert w.page_programs == 1  # 4K random write burns a full page
+
+
+def test_wear_sequential_appends_coalesce():
+    w = FlashWearModel(page_size=16384)
+    for _ in range(4):
+        w.record_write(4096, sequential=True, overwrite=False, stream="log")
+    assert w.page_programs == 1  # 4 x 4K appends fill exactly one page
+    w.record_write(4096, sequential=True, overwrite=False, stream="log")
+    w.flush()
+    assert w.page_programs == 2  # partial page flushed at end
+
+
+def test_wear_overwrites_drive_gc():
+    w = FlashWearModel(page_size=16384, pages_per_block=256, gc_live_fraction=0.25)
+    for _ in range(192):
+        w.record_write(4096, sequential=False, overwrite=True, stream="x")
+    # 192 invalidated pages / (256 * 0.75) reclaimed per erase = 1 GC erase
+    assert w.gc_erases == pytest.approx(1.0)
+    assert w.total_erases > w.capacity_erases
+
+
+def test_wear_lifespan_factor():
+    light = FlashWearModel()
+    heavy = FlashWearModel()
+    light.record_write(16384, sequential=False, overwrite=False, stream="x")
+    for _ in range(10):
+        heavy.record_write(16384, sequential=False, overwrite=True, stream="x")
+    assert light.lifespan_factor_vs(heavy) > 5
+
+
+def test_wear_invalid_size():
+    with pytest.raises(ValueError):
+        FlashWearModel().record_write(0, sequential=False, overwrite=False)
+
+
+# ------------------------------------------------------------- block store
+def test_blockstore_roundtrip():
+    bs = BlockStore(1024)
+    data = np.arange(1024, dtype=np.uint8)
+    bs.create("b", data)
+    assert np.array_equal(bs.read("b"), data)
+    assert np.array_equal(bs.read("b", 100, 10), data[100:110])
+
+
+def test_blockstore_write_and_xor():
+    bs = BlockStore(64)
+    bs.write("b", 10, np.full(4, 5, dtype=np.uint8))
+    bs.xor_in("b", 10, np.full(4, 3, dtype=np.uint8))
+    assert (bs.read("b", 10, 4) == (5 ^ 3)).all()
+
+
+def test_blockstore_bounds_checked():
+    bs = BlockStore(64)
+    bs.ensure("b")
+    with pytest.raises(IntegrityError):
+        bs.read("b", 60, 10)
+    with pytest.raises(IntegrityError):
+        bs.write("b", -1, np.ones(4, dtype=np.uint8))
+    with pytest.raises(IntegrityError):
+        bs.read("missing")
+
+
+def test_blockstore_create_twice_rejected():
+    bs = BlockStore(16)
+    bs.create("b")
+    with pytest.raises(IntegrityError):
+        bs.create("b")
+
+
+def test_blockstore_view_readonly():
+    bs = BlockStore(16)
+    bs.create("b")
+    view = bs.view("b")
+    with pytest.raises(ValueError):
+        view[0] = 1
+
+
+def test_blockstore_wrong_size_create():
+    bs = BlockStore(16)
+    with pytest.raises(IntegrityError):
+        bs.create("b", np.zeros(8, dtype=np.uint8))

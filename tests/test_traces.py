@@ -1,0 +1,140 @@
+"""Tests for trace generation: records, locality, statistical fidelity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    LocalityModel,
+    MSR_VOLUMES,
+    TraceRecord,
+    alicloud_spec,
+    generate_trace,
+    msr_spec,
+    tencloud_spec,
+    trace_statistics,
+)
+from repro.traces.synthetic import SyntheticTraceSpec
+
+_MB = 1 << 20
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord("bogus", 1, 0, 4096)
+    with pytest.raises(ValueError):
+        TraceRecord("read", 1, 0, 0)
+    with pytest.raises(ValueError):
+        TraceRecord("read", 1, -1, 4096)
+
+
+def test_spec_probabilities_must_sum_to_one():
+    with pytest.raises(ValueError):
+        SyntheticTraceSpec("x", 0.5, ((4096, 0.5), (8192, 0.4)))
+
+
+def test_spec_sizes_must_be_4k_multiples():
+    with pytest.raises(ValueError):
+        SyntheticTraceSpec("x", 0.5, ((1000, 1.0),))
+
+
+def test_alicloud_statistics_match_published():
+    spec = alicloud_spec()
+    trace = generate_trace(spec, 8000, [1, 2], 64 * _MB, seed=0)
+    stats = trace_statistics(trace)
+    assert stats["update_ratio"] == pytest.approx(0.75, abs=0.03)
+    assert stats["p_4k"] == pytest.approx(0.46, abs=0.03)
+    assert stats["p_le_16k"] == pytest.approx(0.60, abs=0.03)
+
+
+def test_tencloud_statistics_match_published():
+    spec = tencloud_spec()
+    trace = generate_trace(spec, 8000, [1], 64 * _MB, seed=1)
+    stats = trace_statistics(trace)
+    assert stats["update_ratio"] == pytest.approx(0.69, abs=0.03)
+    assert stats["p_4k"] == pytest.approx(0.69, abs=0.03)
+    assert stats["p_le_16k"] == pytest.approx(0.88, abs=0.03)
+
+
+def test_tencloud_locality_stronger_than_alicloud():
+    """Ten-Cloud touches a much smaller fraction of its space (§2.3.3)."""
+    ten = trace_statistics(
+        generate_trace(tencloud_spec(), 5000, [1], 64 * _MB, seed=2)
+    )
+    ali = trace_statistics(
+        generate_trace(alicloud_spec(), 5000, [1], 64 * _MB, seed=2)
+    )
+    assert ten["footprint_fraction"] < ali["footprint_fraction"]
+
+
+def test_all_msr_volumes_generate():
+    for vol in MSR_VOLUMES:
+        spec = msr_spec(vol)
+        trace = generate_trace(spec, 500, [1], 16 * _MB, seed=3)
+        stats = trace_statistics(trace)
+        assert stats["update_ratio"] == pytest.approx(
+            MSR_VOLUMES[vol][0], abs=0.08
+        )
+
+
+def test_msr_unknown_volume():
+    with pytest.raises(KeyError):
+        msr_spec("nope")
+
+
+def test_generate_requires_files():
+    with pytest.raises(ValueError):
+        generate_trace(alicloud_spec(), 10, [], 16 * _MB)
+
+
+def test_generation_is_deterministic():
+    a = generate_trace(tencloud_spec(), 200, [1, 2], 16 * _MB, seed=42)
+    b = generate_trace(tencloud_spec(), 200, [1, 2], 16 * _MB, seed=42)
+    assert a == b
+    c = generate_trace(tencloud_spec(), 200, [1, 2], 16 * _MB, seed=43)
+    assert a != c
+
+
+def test_records_stay_in_bounds():
+    trace = generate_trace(alicloud_spec(), 2000, [1], 8 * _MB, seed=5)
+    for rec in trace:
+        assert 0 <= rec.offset
+        assert rec.offset + rec.size <= 8 * _MB
+
+
+# ------------------------------------------------------------- locality
+def test_locality_zipf_concentrates_accesses():
+    hot = LocalityModel(file_bytes=64 * _MB, zipf_a=1.4, working_set=0.05, seed=0)
+    cold = LocalityModel(file_bytes=64 * _MB, zipf_a=0.6, working_set=0.8, seed=0)
+    assert hot.coverage_fraction(3000) < cold.coverage_fraction(3000)
+
+
+def test_locality_sequential_runs():
+    loc = LocalityModel(file_bytes=_MB, p_run=0.99, seed=1)
+    offsets = [loc.next_offset(4096) for _ in range(50)]
+    diffs = [b - a for a, b in zip(offsets, offsets[1:])]
+    assert diffs.count(4096) >= 40  # almost always continues the run
+
+
+def test_locality_validation():
+    with pytest.raises(ValueError):
+        LocalityModel(file_bytes=100)
+    with pytest.raises(ValueError):
+        LocalityModel(file_bytes=_MB, working_set=0)
+    with pytest.raises(ValueError):
+        LocalityModel(file_bytes=_MB, p_run=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_locality_offsets_always_valid(seed):
+    loc = LocalityModel(file_bytes=4 * _MB, seed=seed)
+    for size in (4096, 65536, 4 * _MB):
+        off = loc.next_offset(size)
+        assert 0 <= off <= 4 * _MB - size
+
+
+def test_statistics_empty_trace():
+    stats = trace_statistics([])
+    assert stats["n_ops"] == 0

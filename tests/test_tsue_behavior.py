@@ -1,0 +1,166 @@
+"""Behavioral tests for TSUE's paper-specific mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockId, ClusterConfig, ECFS
+from repro.traces import TraceReplayer, generate_trace, tencloud_spec
+from repro.update.tsue import TSUEOptions
+
+
+def _cluster(seed=31, options=None, **kw):
+    defaults = dict(
+        n_osds=10, k=4, m=2, block_size=1 << 16, log_unit_size=1 << 17, seed=seed
+    )
+    defaults.update(kw)
+    opts = {"options": options} if options else {}
+    return ECFS(ClusterConfig(**defaults), method="tsue", method_options=opts)
+
+
+def _replay(ecfs, n_ops=200, n_clients=8, seed=2):
+    files = ecfs.populate(n_files=2, stripes_per_file=2, fill="random")
+    fsize = ecfs.mds.lookup(files[0]).size
+    trace = generate_trace(tencloud_spec(), n_ops, files, fsize, seed=seed)
+    return files, TraceReplayer(ecfs, trace).run(n_clients=n_clients)
+
+
+def test_datalog_replica_receives_every_update():
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+    rep_idx = ecfs.placement.replica_osd(block)
+    ecfs.env.run(ecfs.env.process(client.update(files[0], 0, 4096)))
+    rep = ecfs.osds[rep_idx]
+    assert ecfs.method.replica_log_bytes[rep.name] == 4096
+
+
+def test_read_cache_hit_avoids_device():
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+    osd = ecfs.osd_hosting(block)
+
+    def flow():
+        yield ecfs.env.process(client.update(files[0], 0, 4096))
+        reads_before = osd.device.counters.reads
+        data = yield ecfs.env.process(client.read(files[0], 0, 4096))
+        # full hit in the DataLog index: zero device reads on the read path
+        # (background recycle may read, but those are tagged reads that can
+        # only START after the log unit seals — none sealed yet here)
+        return reads_before, osd.device.counters.reads, data
+
+    before, after, data = ecfs.env.run(ecfs.env.process(flow()))
+    assert before == after
+    assert np.array_equal(data, ecfs.oracle.expected(block)[:4096])
+
+
+def test_recycled_unit_serves_reads_until_reused():
+    """RECYCLED units keep their index as a read cache (§3.2.1)."""
+    ecfs = _cluster()
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    ecfs.env.run(ecfs.env.process(client.update(files[0], 0, 4096)))
+    ecfs.drain()  # unit recycled, but index retained
+    block, _ = ecfs.mds.locate(files[0], 0, ecfs.rs.k)
+    pool = ecfs.method._pool(ecfs.osd_hosting(block), "datalog", block)
+    assert pool.lookup(block, 0, 4096) is not None
+
+
+def test_memory_quota_bounds_pool_growth():
+    opts = TSUEOptions(max_units=2, unit_size=1 << 16)
+    ecfs = _cluster(options=opts)
+    _replay(ecfs, n_ops=300)
+    for layers in ecfs.method.pools.values():
+        for pools in layers.values():
+            for pool in pools:
+                assert pool.n_units <= 2
+
+
+def test_small_quota_causes_stalls_large_does_not():
+    """Fig. 6a's mechanism: 1-unit pools stall appends behind recycling."""
+    small = _cluster(seed=33, options=TSUEOptions(max_units=1, min_units=1))
+    _replay(small, n_ops=400)
+    big = _cluster(seed=33, options=TSUEOptions(max_units=8))
+    _replay(big, n_ops=400)
+    assert small.method.stall_stats()["stalls"] > big.method.stall_stats()["stalls"]
+
+
+def test_residence_stats_populated():
+    ecfs = _cluster()
+    _replay(ecfs)
+    ecfs.drain()
+    stats = ecfs.method.residence_stats()
+    assert stats["datalog"]["append"] > 0
+    assert stats["datalog"]["buffer"] > 0
+    assert stats["datalog"]["recycle"] > 0
+    # delta layer active (m=2 with deltalog on)
+    assert stats["deltalog"]["append"] > 0
+
+
+def test_no_deltalog_option_skips_layer():
+    ecfs = _cluster(options=TSUEOptions(use_deltalog=False))
+    _replay(ecfs)
+    ecfs.drain()
+    assert ecfs.verify() == 4
+    stats = ecfs.method.residence_stats()
+    assert stats["deltalog"]["append"] == 0
+    assert stats["paritylog"]["append"] > 0
+
+
+def test_hdd_options_replicate_twice():
+    opts = TSUEOptions.hdd()
+    assert opts.datalog_replicas == 2
+    assert not opts.use_deltalog
+    ecfs = _cluster(options=opts, device="hdd")
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    ecfs.env.run(ecfs.env.process(client.update(files[0], 0, 4096)))
+    total_rep = sum(ecfs.method.replica_log_bytes.values())
+    assert total_rep == 2 * 4096
+
+
+def test_breakdown_ladder_is_cumulative():
+    ladder = TSUEOptions.breakdown()
+    assert list(ladder) == ["Baseline", "O1", "O2", "O3", "O4", "O5"]
+    assert not ladder["Baseline"].datalog_locality
+    assert ladder["O1"].datalog_locality and not ladder["O1"].backend_locality
+    assert ladder["O3"].use_logpool and ladder["O3"].pools_per_device == 1
+    assert ladder["O4"].pools_per_device == 4
+    assert ladder["O5"].use_deltalog
+
+
+def test_locality_merging_reduces_recycle_records():
+    """O1's point: merged extents << raw records under a hot workload."""
+    ecfs = _cluster(seed=34)
+    _replay(ecfs, n_ops=400)
+    ecfs.drain()
+    planner = ecfs.method.planner
+    assert planner.raw_records > 0
+    assert planner.reduction_ratio > 1.2
+
+
+def test_log_debt_reported_then_drained():
+    ecfs = _cluster(seed=35)
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    (client,) = ecfs.add_clients(1)
+    ecfs.env.run(ecfs.env.process(client.update(files[0], 0, 4096)))
+    assert ecfs.total_log_debt() > 0  # sitting in the active DataLog unit
+    ecfs.drain()
+    assert ecfs.total_log_debt() == 0
+
+
+def test_oracle_commit_order_matches_log_order():
+    """Two racing same-address updates: final block equals last log append."""
+    ecfs = _cluster(seed=36)
+    files = ecfs.populate(n_files=1, stripes_per_file=1, fill="random")
+    clients = ecfs.add_clients(2)
+    env = ecfs.env
+    procs = [
+        env.process(clients[i].update(files[0], 0, 4096), name=f"u{i}")
+        for i in range(2)
+    ]
+    env.run(env.all_of(procs))
+    ecfs.drain()
+    assert ecfs.verify() == 1
