@@ -9,7 +9,20 @@ The experiments are single-shot simulations (deterministic, seconds long),
 so every benchmark uses ``benchmark.pedantic(..., rounds=1)``.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # every benchmark regenerates a full table/figure: slow by definition,
+    # excluded from the fast CI tier (pytest -m "not slow").  The hook sees
+    # the whole session's items, so scope to this directory.
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

@@ -62,12 +62,19 @@ class Client:
             issued_at=self.env.now,
             client=self.name,
         )
+        # reconstruction may hold the stripe frozen (capture -> re-home);
+        # updates wait so their parity deltas cannot race the re-home
+        yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
         primary = ecfs.osd_hosting(block)
         hdr = ecfs.config.header_bytes
         yield from ecfs.net.transfer(self.name, primary.name, size + hdr)
-        yield self.env.process(
-            ecfs.method.handle_update(primary, op), name=f"upd{op.op_id}"
-        )
+        ecfs.note_update_begin(block)
+        try:
+            yield self.env.process(
+                ecfs.method.handle_update(primary, op), name=f"upd{op.op_id}"
+            )
+        finally:
+            ecfs.note_update_end(block)
         yield from ecfs.net.transfer(primary.name, self.name, ecfs.config.ack_bytes)
         latency = self.env.now - op.issued_at
         ecfs.metrics.record_update(latency, size)

@@ -79,6 +79,58 @@ class ECFS:
         self.clients: list[Client] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.known_blocks: set[BlockId] = set()
+        # in-flight update ops per stripe: reconstruction waits these out so
+        # it never captures a half-applied data+parity state
+        self._inflight_stripe: dict[tuple[int, int], int] = {}
+        # stripes frozen by reconstruction (capture -> re-home window): new
+        # updates and background delta application wait until the thaw, so
+        # no delta can race the rebuilt block's placement switch
+        self._frozen_stripes: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------- stripe activity
+    def freeze_stripe(self, file_id: int, stripe: int) -> None:
+        key = (file_id, stripe)
+        self._frozen_stripes[key] = self._frozen_stripes.get(key, 0) + 1
+
+    def thaw_stripe(self, file_id: int, stripe: int) -> None:
+        key = (file_id, stripe)
+        left = self._frozen_stripes.get(key, 0) - 1
+        if left > 0:
+            self._frozen_stripes[key] = left
+        else:
+            self._frozen_stripes.pop(key, None)
+
+    def stripe_frozen(self, file_id: int, stripe: int) -> bool:
+        return (file_id, stripe) in self._frozen_stripes
+
+    def inflight_updates(self, file_id: int, stripe: int) -> int:
+        """Client updates currently executing against the stripe."""
+        return self._inflight_stripe.get((file_id, stripe), 0)
+
+    def wait_stripe_thaw(self, file_id: int, stripe: int):
+        """Process fragment: yield until the stripe is not frozen."""
+        while self.stripe_frozen(file_id, stripe):
+            yield self.env.timeout(1e-4)
+
+    def note_update_begin(self, block: BlockId) -> None:
+        key = (block.file_id, block.stripe)
+        self._inflight_stripe[key] = self._inflight_stripe.get(key, 0) + 1
+
+    def note_update_end(self, block: BlockId) -> None:
+        key = (block.file_id, block.stripe)
+        left = self._inflight_stripe.get(key, 0) - 1
+        if left > 0:
+            self._inflight_stripe[key] = left
+        else:
+            self._inflight_stripe.pop(key, None)
+
+    def stripe_quiescent(self, file_id: int, stripe: int) -> bool:
+        """True when the stripe has no in-flight update and no
+        applied-to-data-but-pending-on-parity delta anywhere — i.e. its
+        blocks form a consistent codeword right now."""
+        if self._inflight_stripe.get((file_id, stripe)):
+            return False
+        return (file_id, stripe) not in self.method.unsettled_stripes()
 
     # --------------------------------------------------------------- build
     def _make_device(self, i: int, ssd_params, hdd_params):
@@ -92,6 +144,31 @@ class ECFS:
             self.clients.append(client)
             self.net.add_node(client.name)
         return self.clients
+
+    # -------------------------------------------------------------- faults
+    def crash_osd(self, idx: int) -> OSD:
+        """Abrupt node loss: fail the node and tell the update method
+        immediately (no quiesce — in-flight work is cut off).  The MDS
+        learns of the death through heartbeat silence (or when a
+        :class:`~repro.cluster.recovery.RecoveryManager` rebuild starts,
+        which must follow for the cluster to verify again)."""
+        osd = self.osds[idx]
+        if not osd.failed:
+            osd.fail()
+            self.method.on_node_failed(osd)
+        return osd
+
+    def restart_osd(self, idx: int) -> OSD:
+        """Bring a transiently-down node back (contents intact, no rebuild):
+        clears the failure flags and lets the update method resume/replay
+        its background work for the node."""
+        osd = self.osds[idx]
+        if osd.failed:
+            osd.restart()
+            self.mds.declare_recovered(idx)
+            self.mds.heartbeat(idx, self.env.now)
+            self.method.on_node_restarted(osd)
+        return osd
 
     # ------------------------------------------------------------ placement
     def osd_hosting(self, block: BlockId) -> OSD:
@@ -144,9 +221,34 @@ class ECFS:
         return self.env.run(until)
 
     def drain(self) -> None:
-        """Flush every outstanding log (runs simulated time)."""
-        proc = self.env.process(self.method.flush(), name="drain")
+        """Flush every outstanding log and repair parity rows that lost
+        deltas to down nodes (runs simulated time)."""
+        proc = self.env.process(self._settle(), name="drain")
         self.env.run(proc)
+
+    def _settle(self):
+        from repro.common.errors import IntegrityError
+
+        def flush_tolerant():
+            # a node crashing mid-drain must degrade, not abort the run:
+            # the method's failure hooks (stash/marks) and the ensuing
+            # recovery pick up what the interrupted flush left behind
+            try:
+                yield from self.method.flush()
+            except IntegrityError:
+                pass
+
+        yield from flush_tolerant()
+        # repair resync-marked stripes: flushes interleave (the resync
+        # skips stripes with deltas still draining) and time advances so a
+        # resync already in flight elsewhere can finish.  Stripes that
+        # cannot settle (a data host is down pending rebuild) stay marked.
+        for _ in range(50):
+            if not self.method.resync_pending():
+                break
+            yield from self.method.resync_parity()
+            yield from flush_tolerant()
+            yield self.env.timeout(1e-3)
 
     def verify(self) -> int:
         """Check every touched stripe against the oracle; returns count."""

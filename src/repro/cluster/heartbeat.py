@@ -2,9 +2,13 @@
 the MDS initiates recovery when one goes silent).
 
 :class:`HeartbeatService` runs one sender process per OSD and one monitor
-process at the MDS.  A failed OSD stops heartbeating (its sender exits on
-the node's failure flag); after ``timeout`` silent seconds the MDS declares
-it failed and fires the recovery callback.
+process at the MDS.  A failed OSD stops heartbeating (its sender idles while
+the node's failure flag is up); after ``timeout`` silent seconds the MDS
+declares it failed and fires the recovery callback.  The sender survives a
+transient bounce: once the node restarts it resumes beating, and the monitor
+readmits it (``declare_recovered`` + the ``on_recovery`` callback) — the
+same path a healed network partition takes, since heartbeats crossing a
+partition block until it heals.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ class HeartbeatService:
         interval: float = 1.0,
         timeout: float = 3.5,
         on_failure: Optional[Callable[[int], None]] = None,
+        on_recovery: Optional[Callable[[int], None]] = None,
     ) -> None:
         if interval <= 0 or timeout <= interval:
             raise ValueError("need 0 < interval < timeout")
@@ -35,7 +40,9 @@ class HeartbeatService:
         self.interval = interval
         self.timeout = timeout
         self.detected: list[tuple[int, float]] = []  # (osd idx, detect time)
+        self.recovered: list[tuple[int, float]] = []  # (osd idx, readmit time)
         self._user_callback = on_failure
+        self._user_on_recovery = on_recovery
         self._procs: list = []
         ecfs.mds.heartbeat_timeout = timeout
         ecfs.mds.on_failure = self._on_failure
@@ -63,23 +70,38 @@ class HeartbeatService:
         from repro.sim import Interrupt
 
         try:
-            while not osd.failed:
+            while True:
                 yield env.timeout(self.interval)
                 if osd.failed:
-                    return
+                    continue  # down: silent until a restart brings it back
                 yield from self.ecfs.net.transfer(osd.name, "mds", _HEARTBEAT_BYTES)
-                self.ecfs.mds.heartbeat(osd.idx, env.now)
+                # a beat that was in flight when the node died doesn't count
+                if not osd.failed:
+                    self.ecfs.mds.heartbeat(osd.idx, env.now)
         except Interrupt:
             return
 
     def _monitor(self) -> Generator:
         env = self.ecfs.env
+        mds = self.ecfs.mds
+
         from repro.sim import Interrupt
 
         try:
             while True:
                 yield env.timeout(self.interval)
-                self.ecfs.mds.check_liveness(env.now)
+                mds.check_liveness(env.now)
+                # readmit declared-failed nodes that are beating again and
+                # actually alive (a rebuilt node stays failed: its blocks
+                # were re-homed)
+                for idx in sorted(mds.failed):
+                    osd = self.ecfs.osds[idx]
+                    fresh = env.now - mds.heartbeats.get(idx, float("-inf"))
+                    if not osd.failed and fresh <= self.timeout:
+                        mds.declare_recovered(idx)
+                        self.recovered.append((idx, env.now))
+                        if self._user_on_recovery is not None:
+                            self._user_on_recovery(idx)
         except Interrupt:
             return
 

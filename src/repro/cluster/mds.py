@@ -112,3 +112,8 @@ class MDS:
 
     def declare_failed(self, osd_idx: int) -> None:
         self.failed.add(osd_idx)
+
+    def declare_recovered(self, osd_idx: int) -> None:
+        """Readmit a node that proved liveness again (restart / healed
+        partition); recovery-rebuilt nodes stay failed forever."""
+        self.failed.discard(osd_idx)

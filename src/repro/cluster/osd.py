@@ -155,6 +155,15 @@ class OSD:
         """Take the node down; blocks remain lost until recovery rebuilds."""
         self.failed = True
 
+    def restart(self) -> None:
+        """Bring a transiently-down node back with its contents intact.
+
+        Used by the fault injector's bounce/rolling-restart path (no rebuild
+        happened); use :meth:`repro.cluster.ecfs.ECFS.restart_osd` so the
+        MDS and the update method hear about it too.
+        """
+        self.failed = False
+
     def recover_to(self, replacement: "OSD") -> None:  # pragma: no cover - doc
         raise NotImplementedError("use repro.cluster.recovery.RecoveryManager")
 

@@ -53,23 +53,35 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------ API
     def lost_blocks(self, osd_idx: int) -> list[BlockId]:
-        return sorted(
-            b
-            for b in self.ecfs.known_blocks
-            if self.ecfs.placement.osd_of(b) == osd_idx
-            and b not in self.ecfs._placement_override
-        )
+        """Blocks whose *current* home (including recovery re-homes from an
+        earlier failure) is ``osd_idx``."""
+        ecfs = self.ecfs
+        out = []
+        for b in ecfs.known_blocks:
+            override = ecfs._placement_override.get(b)
+            home = override if override is not None else ecfs.placement.osd_of(b)
+            if home == osd_idx:
+                out.append(b)
+        return sorted(out)
 
     def fail_and_recover(self, osd_idx: int) -> Generator:
-        """Process: kill ``osd_idx``, settle logs, rebuild; returns report."""
+        """Process: kill ``osd_idx``, settle logs, rebuild; returns report.
+
+        If the victim is already down (an abrupt crash injected by
+        :mod:`repro.fault`, which calls :meth:`ECFS.crash_osd` first), the
+        quiesce/teardown phase is skipped — the crash did not wait for
+        in-flight recycles, and the method's stash already captured the
+        victim's unrecycled logs.
+        """
         ecfs = self.ecfs
         env = ecfs.env
         victim = ecfs.osds[osd_idx]
-        lost = self.lost_blocks(osd_idx)
-        yield env.process(ecfs.method.quiesce_node(victim), name="rec-quiesce")
-        victim.fail()
+        if not victim.failed:
+            yield env.process(ecfs.method.quiesce_node(victim), name="rec-quiesce")
+            victim.fail()
+            ecfs.method.on_node_failed(victim)
         ecfs.mds.declare_failed(osd_idx)
-        ecfs.method.on_node_failed(victim)
+        lost = self.lost_blocks(osd_idx)
 
         # --- phase 1: settle outstanding logs on survivors ---------------
         t0 = env.now
@@ -107,25 +119,89 @@ class RecoveryManager:
 
     # ------------------------------------------------------------ internals
     def _rebuild_worker(self, queue: list[BlockId], failed_idx: int) -> Generator:
-        ecfs = self.ecfs
-        env = ecfs.env
+        from repro.common.errors import IntegrityError
+
+        env = self.ecfs.env
         while queue:
             block = queue.pop()
-            target = self._rebuild_target(block, failed_idx)
-            sources = self._survivor_sources(block)
-            reads = [
-                env.process(self._fetch(src_bid, target), name=f"rec-r{src_bid}")
-                for src_bid in sources
-            ]
-            results = yield env.all_of(reads)
-            available = dict(zip(sources, (results[r] for r in reads)))
+            try:
+                yield from self._rebuild_block(block, failed_idx)
+            except IntegrityError:
+                # a source or target died mid-rebuild (overlapping second
+                # failure): retry with freshly selected survivors.  The
+                # retry terminates — each attempt excludes every node
+                # currently down, and decode raises DecodeError (fatal)
+                # once fewer than k survive.
+                queue.append(block)
+                yield env.timeout(0)
+
+    def _rebuild_block(self, block: BlockId, failed_idx: int) -> Generator:
+        from repro.common.errors import IntegrityError
+
+        ecfs = self.ecfs
+        env = ecfs.env
+        target = self._rebuild_target(block, failed_idx)
+        sources = self._survivor_sources(block)
+        reads = [
+            env.process(self._fetch(src_bid, target), name=f"rec-r{src_bid}")
+            for src_bid in sources
+        ]
+        yield env.all_of(reads)
+        # Wait for stripe quiescence: while an update is in flight, or a
+        # delta sits applied-in-data but pending-on-parity (log debt of an
+        # ongoing workload, an overlapping recovery's settlement), the
+        # stripe's blocks are not one consistent codeword and decoding
+        # would produce garbage.  Real systems hold a stripe lock here; the
+        # freeze then keeps new deltas from racing the placement switch —
+        # a delta aimed at the dead home after the capture would be lost.
+        # The freeze is exclusive: two overlapping recoveries rebuilding two
+        # blocks of ONE stripe must serialize, or the second capture races
+        # the first rebuild's stash replay.  Check-and-freeze is atomic —
+        # the DES never preempts between the last poll and the freeze.
+        stripe_key = (block.file_id, block.stripe)
+        while not ecfs.stripe_quiescent(*stripe_key) or (
+            ecfs.stripe_frozen(*stripe_key)
+        ):
+            if (
+                stripe_key in ecfs.method.unsettled_stripes()
+                and not ecfs.inflight_updates(*stripe_key)
+                and not ecfs.stripe_frozen(*stripe_key)
+            ):
+                # deferred-recycle methods (PL-style) only settle on an
+                # explicit flush; force one — then repair any parity rows
+                # that lost deltas — so reconstruction isn't stuck behind
+                # debt that would otherwise sit until a threshold
+                yield env.process(ecfs.method.flush(), name=f"rec-settle-{block}")
+                yield env.process(
+                    ecfs.method.resync_parity(), name=f"rec-resync-{block}"
+                )
+            # always advance the clock: a no-op flush returns in zero sim
+            # time and polling must not starve the in-flight settlement
+            yield env.timeout(1e-4)
+        ecfs.freeze_stripe(block.file_id, block.stripe)
+        try:
+            # Capture every source at ONE simulated instant (the fetches
+            # above only charge I/O + network time) so nothing mutates
+            # between the individual source reads.
+            available: dict[int, np.ndarray] = {}
+            for src_bid in sources:
+                src = ecfs.osd_hosting(src_bid)
+                if src.failed:
+                    raise IntegrityError(f"{src.name} died mid-fetch")  # retry
+                if src_bid in src.store.corrupted:
+                    # latent sector error surfaced by the read checksum
+                    # between selection and capture: retry with another
+                    raise IntegrityError(f"{src_bid} failed its checksum")
+                available[src_bid.idx] = (
+                    src.store.read(src_bid)
+                    if src_bid in src.store
+                    else np.zeros(ecfs.config.block_size, dtype=np.uint8)
+                )
             # decode: k GF-scaled XOR accumulations over a full block
             yield env.timeout(
                 ecfs.config.costs.gf_mul(ecfs.config.block_size, terms=ecfs.rs.k)
             )
-            rebuilt = ecfs.rs.decode(
-                {bid.idx: data for bid, data in available.items()}, [block.idx]
-            )[block.idx]
+            rebuilt = ecfs.rs.decode(available, [block.idx])[block.idx]
             # replay any stashed (replicated-log) updates onto the rebuild
             yield env.process(
                 ecfs.method.post_rebuild(block, ecfs.osds[target], rebuilt),
@@ -138,6 +214,8 @@ class RecoveryManager:
             else:
                 tosd.store.create(block, rebuilt)
             ecfs.rehome_block(block, target)
+        finally:
+            ecfs.thaw_stripe(block.file_id, block.stripe)
 
     def _survivor_sources(self, block: BlockId) -> list[BlockId]:
         ecfs = self.ecfs
@@ -146,27 +224,26 @@ class RecoveryManager:
             if i == block.idx:
                 continue
             bid = BlockId(block.file_id, block.stripe, i)
-            if not ecfs.osd_hosting(bid).failed:
+            osd = ecfs.osd_hosting(bid)
+            # a block with a latent sector error fails its read checksum:
+            # as unusable for decoding as a dead node (scrub repairs it)
+            if not osd.failed and bid not in osd.store.corrupted:
                 out.append(bid)
             if len(out) == ecfs.rs.k:
                 break
         return out
 
     def _fetch(self, src_bid: BlockId, target: int) -> Generator:
+        """Charge the read + transfer cost of shipping one source block; the
+        bytes themselves are captured atomically by the caller."""
         ecfs = self.ecfs
         src = ecfs.osd_hosting(src_bid)
         yield from src.io_block(
             IOKind.READ, src_bid, 0, ecfs.config.block_size, IOPriority.FOREGROUND
         )
-        data = (
-            src.store.read(src_bid)
-            if src_bid in src.store
-            else np.zeros(ecfs.config.block_size, dtype=np.uint8)
-        )
         yield from ecfs.net.transfer(
             src.name, ecfs.osds[target].name, ecfs.config.block_size
         )
-        return data
 
     def _rebuild_target(self, block: BlockId, failed_idx: int) -> int:
         """Spread rebuilt blocks over survivors not already in the stripe."""

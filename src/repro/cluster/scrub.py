@@ -6,6 +6,13 @@ second failure makes it unrecoverable.  The scrubber walks every known
 stripe at a bounded rate, reads all k+m blocks (charged to the devices at
 background priority), re-encodes, and reports mismatches.
 
+With ``repair=True`` the scrubber also *fixes* what it finds: blocks whose
+read hits a latent sector error (the drive's per-sector checksum fails —
+modelled by :attr:`BlockStore.corrupted`) are reconstructed by RS decode
+from the stripe's healthy blocks, rewritten in place, and marked clean.
+Up to m bad blocks per stripe are repairable; beyond that the stripe is
+reported unrecoverable.
+
 Stripes with outstanding log debt are *skipped* (their parity legitimately
 lags until recycling catches up) — under TSUE's real-time recycling this
 window is small, which the tests assert.
@@ -33,18 +40,27 @@ class ScrubReport:
     stripes_skipped: int = 0  # log debt or failed node
     mismatches: list[tuple[int, int, int]] = field(default_factory=list)
     # (file_id, stripe, parity row)
+    latent_errors: list[BlockId] = field(default_factory=list)
+    repaired: list[BlockId] = field(default_factory=list)
+    unrecoverable: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.mismatches
+        return not self.mismatches and not self.latent_errors
 
 
 class Scrubber:
     """Walks stripes verifying parity consistency on the live cluster."""
 
-    def __init__(self, ecfs: "ECFS", stripes_per_pass: int | None = None) -> None:
+    def __init__(
+        self,
+        ecfs: "ECFS",
+        stripes_per_pass: int | None = None,
+        repair: bool = False,
+    ) -> None:
         self.ecfs = ecfs
         self.stripes_per_pass = stripes_per_pass
+        self.repair = repair
 
     def scrub(self) -> Generator:
         """Process: one full pass; returns a :class:`ScrubReport`."""
@@ -63,6 +79,10 @@ class Scrubber:
     # ------------------------------------------------------------ internals
     def _should_skip(self, file_id: int, stripe: int) -> bool:
         ecfs = self.ecfs
+        # parity legitimately lags while deltas are in flight, buffered for
+        # a bounced node, or awaiting a degraded-stripe resync
+        if not ecfs.stripe_quiescent(file_id, stripe):
+            return True
         for i in range(ecfs.rs.k + ecfs.rs.m):
             bid = BlockId(file_id, stripe, i)
             osd = ecfs.osd_hosting(bid)
@@ -77,20 +97,57 @@ class Scrubber:
         ecfs = self.ecfs
         env = ecfs.env
         bs = ecfs.config.block_size
+        width = ecfs.rs.k + ecfs.rs.m
         blocks: list[np.ndarray] = []
-        for i in range(ecfs.rs.k + ecfs.rs.m):
+        bad: list[int] = []  # stripe indices whose read hit a sector error
+        for i in range(width):
             bid = BlockId(file_id, stripe, i)
             osd = ecfs.osd_hosting(bid)
             yield from osd.io_block(
                 IOKind.READ, bid, 0, bs, IOPriority.BACKGROUND, tag="scrub"
             )
+            if bid in osd.store.corrupted:
+                bad.append(i)
+                report.latent_errors.append(bid)
             blocks.append(
                 osd.store.read(bid) if bid in osd.store
                 else np.zeros(bs, dtype=np.uint8)
             )
+        if bad and self.repair:
+            if len(bad) > ecfs.rs.m:
+                report.unrecoverable.append((file_id, stripe))
+            else:
+                yield from self._repair(file_id, stripe, bad, blocks)
+                for i in bad:
+                    report.repaired.append(BlockId(file_id, stripe, i))
         yield env.timeout(ecfs.config.costs.gf_mul(bs * ecfs.rs.k, terms=ecfs.rs.m))
         expected = ecfs.rs.encode(blocks[: ecfs.rs.k])
         for j in range(ecfs.rs.m):
             if not np.array_equal(expected[j], blocks[ecfs.rs.k + j]):
                 report.mismatches.append((file_id, stripe, j))
         report.stripes_checked += 1
+
+    def _repair(
+        self, file_id: int, stripe: int, bad: list[int], blocks: list[np.ndarray]
+    ) -> Generator:
+        """Reconstruct the bad blocks from the healthy ones, rewrite them."""
+        ecfs = self.ecfs
+        env = ecfs.env
+        bs = ecfs.config.block_size
+        width = ecfs.rs.k + ecfs.rs.m
+        good = [i for i in range(width) if i not in bad][: ecfs.rs.k]
+        available = {i: blocks[i] for i in good}
+        yield env.timeout(
+            ecfs.config.costs.gf_mul(bs, terms=ecfs.rs.k) * len(bad)
+        )
+        fixed = ecfs.rs.decode(available, bad)
+        for i in bad:
+            bid = BlockId(file_id, stripe, i)
+            osd = ecfs.osd_hosting(bid)
+            yield from osd.io_block(
+                IOKind.WRITE, bid, 0, bs, IOPriority.BACKGROUND,
+                overwrite=True, tag="scrub-repair",
+            )
+            osd.store.write(bid, 0, fixed[i])
+            osd.store.mark_clean(bid)
+            blocks[i] = fixed[i]

@@ -56,6 +56,7 @@ class LogPool:
         self.merge = merge
 
         self._next_unit_id = 0
+        self._dead = False
         self.units: deque[LogUnit] = deque()
         self.active = self._new_unit()
         self.units.append(self.active)
@@ -85,6 +86,8 @@ class LogPool:
             raise ConfigError(
                 f"record of {nbytes}B exceeds unit size {self.unit_size}B"
             )
+        if self._dead:
+            raise IntegrityError(f"log pool {self.name} is on a failed node")
         # The active pointer may reference a SEALED unit when the quota was
         # exhausted (acquire failed); state must be checked alongside space
         # or a smaller record could sneak into a RECYCLABLE unit.
@@ -101,6 +104,10 @@ class LogPool:
                 self.stalls += 1
                 yield waiter
                 self.stall_time += self.env.now - t0
+                if self._dead:
+                    raise IntegrityError(
+                        f"log pool {self.name} died while an append waited"
+                    )
         self.active.append(block, offset, data, self.env.now)
         self.appends += 1
         self.append_bytes += nbytes
@@ -158,6 +165,16 @@ class LogPool:
                     waiter.succeed()
             self._space_waiters.clear()
 
+    def fail(self) -> None:
+        """Node death: error out waiting appenders instead of leaving them
+        blocked on recycling that will never happen, and refuse new appends
+        (so a front end never acks an update this pool cannot make durable)."""
+        self._dead = True
+        waiters, self._space_waiters = self._space_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
     def trim(self) -> int:
         """Drop RECYCLED units above ``min_units``; returns units freed."""
         freed = 0
@@ -174,6 +191,11 @@ class LogPool:
         return freed
 
     # ------------------------------------------------------------- metrics
+    @property
+    def dead(self) -> bool:
+        """True once :meth:`fail` ran (the hosting node crashed for good)."""
+        return self._dead
+
     @property
     def n_units(self) -> int:
         return len(self.units)

@@ -57,6 +57,12 @@ class LogUnit:
         self.index = TwoLevelIndex(policy, block_size=block_size)
         self.used = 0
         self._seq = 0
+        #: extents a recycler already applied durably — consulted when a
+        #: crashed/restarted recycle replays the unit so nothing re-applies
+        self.recycle_progress: set = set()
+        #: bumped on every reuse so (unit_id, generation) names one fill
+        #: cycle uniquely — the basis of replay-dedup tokens
+        self.generation = 0
         self.first_append_at: Optional[float] = None
         self.sealed_at: Optional[float] = None
         self.recycle_started_at: Optional[float] = None
@@ -103,6 +109,8 @@ class LogUnit:
         self.index.clear()
         self.used = 0
         self._seq = 0
+        self.recycle_progress.clear()
+        self.generation += 1
         self.first_append_at = None
         self.sealed_at = None
         self.recycle_started_at = None

@@ -1,0 +1,65 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The subsystem turns the one-off failure demos into programmable, replayable
+experiments:
+
+* :mod:`repro.fault.events` — typed fault events (OSD crash/bounce, NIC
+  degradation, partitions, slow/stuck disks, latent sector corruption,
+  scrub passes) with time- or predicate-based triggers;
+* :mod:`repro.fault.injector` — applies a :class:`FaultSchedule` to a live
+  :class:`~repro.cluster.ecfs.ECFS`, driving recoveries and logging every
+  injection;
+* :mod:`repro.fault.runner` — the :class:`ScenarioRunner` composing a
+  workload trace + fault schedule + invariant oracle;
+* :mod:`repro.fault.scenarios` — the named catalog behind
+  ``python -m repro scenario``;
+* :mod:`repro.fault.digest` — canonical metric digests (two runs with one
+  seed are byte-identical).
+"""
+
+from repro.fault.digest import canonical, cluster_digest, content_digest
+from repro.fault.events import (
+    BounceOSD,
+    CorruptBlock,
+    CrashOSD,
+    DegradeNIC,
+    FaultEvent,
+    FaultSchedule,
+    PartitionNet,
+    ScrubPass,
+    SlowDisk,
+    StickDisk,
+    Trigger,
+    after_drain,
+    after_ops,
+    after_recycles,
+)
+from repro.fault.injector import FaultInjector
+from repro.fault.runner import ScenarioResult, ScenarioRunner, ScenarioSpec
+from repro.fault.scenarios import SCENARIOS, get_scenario
+
+__all__ = [
+    "canonical",
+    "cluster_digest",
+    "content_digest",
+    "Trigger",
+    "FaultEvent",
+    "FaultSchedule",
+    "CrashOSD",
+    "BounceOSD",
+    "DegradeNIC",
+    "PartitionNet",
+    "SlowDisk",
+    "StickDisk",
+    "CorruptBlock",
+    "ScrubPass",
+    "after_ops",
+    "after_recycles",
+    "after_drain",
+    "FaultInjector",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SCENARIOS",
+    "get_scenario",
+]

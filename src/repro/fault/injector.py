@@ -1,0 +1,169 @@
+"""Deterministic fault injection onto a live ECFS cluster.
+
+The :class:`FaultInjector` arms one DES process per schedule entry; each
+waits for its trigger (timestamp or polled predicate), applies the event
+through the cluster's fault hooks, and logs ``(sim time, description)``.
+Crash events optionally drive a full :class:`RecoveryManager` rebuild after
+a detection delay; bounce events restart the node and let the update method
+replay whatever it buffered.  Everything is seed-deterministic: two runs of
+the same schedule on the same seed produce identical event timings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.cluster.recovery import RecoveryManager, RecoveryReport
+from repro.cluster.scrub import ScrubReport, Scrubber
+from repro.fault.events import (
+    BounceOSD,
+    CorruptBlock,
+    CrashOSD,
+    DegradeNIC,
+    FaultEvent,
+    FaultSchedule,
+    PartitionNet,
+    ScrubPass,
+    SlowDisk,
+    StickDisk,
+    Trigger,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.ecfs import ECFS
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a cluster, one process per entry."""
+
+    def __init__(
+        self,
+        ecfs: "ECFS",
+        schedule: FaultSchedule,
+        recovery: Optional[RecoveryManager] = None,
+    ) -> None:
+        self.ecfs = ecfs
+        self.schedule = schedule
+        self.recovery = recovery or RecoveryManager(ecfs)
+        self.log: list[tuple[float, str]] = []
+        self.recovery_reports: list[RecoveryReport] = []
+        self.scrub_reports: list[ScrubReport] = []
+        self.corrupted: list = []  # BlockIds injected with latent errors
+        self.skipped: list[str] = []  # events whose trigger deadline passed
+        self._procs: list = []
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        env = self.ecfs.env
+        for i, (trigger, event) in enumerate(self.schedule):
+            self._procs.append(
+                env.process(self._arm(trigger, event), name=f"fault-{i}")
+            )
+
+    def done(self):
+        """Event firing when every scheduled fault (and its follow-up, e.g.
+        a crash's recovery) has been applied."""
+        return self.ecfs.env.all_of(self._procs)
+
+    # ------------------------------------------------------------ processes
+    def _arm(self, trigger: Trigger, event: FaultEvent) -> Generator:
+        env = self.ecfs.env
+        if trigger.at is not None:
+            if trigger.at > env.now:
+                yield env.timeout(trigger.at - env.now)
+        else:
+            while not trigger.when(self.ecfs):
+                if trigger.deadline is not None and env.now >= trigger.deadline:
+                    self.skipped.append(type(event).__name__)
+                    return
+                yield env.timeout(trigger.poll)
+        yield from self._apply(event)
+
+    def _note(self, text: str) -> None:
+        self.log.append((self.ecfs.env.now, text))
+
+    def _apply(self, event: FaultEvent) -> Generator:
+        env = self.ecfs.env
+        if isinstance(event, CrashOSD):
+            self.ecfs.crash_osd(event.osd)
+            self._note(f"crash osd{event.osd}")
+            if event.recover:
+                if event.detect_delay > 0:
+                    yield env.timeout(event.detect_delay)
+                report = yield env.process(
+                    self.recovery.fail_and_recover(event.osd),
+                    name=f"fault-recover-{event.osd}",
+                )
+                self.recovery_reports.append(report)
+                self._note(f"recovered osd{event.osd}: {report.blocks_rebuilt} blocks")
+        elif isinstance(event, BounceOSD):
+            # a transient outage: no MDS declaration, no log teardown — the
+            # node simply stops serving, then comes back with its data
+            self.ecfs.osds[event.osd].fail()
+            self._note(f"bounce osd{event.osd} down")
+            yield env.timeout(event.downtime)
+            self.ecfs.restart_osd(event.osd)
+            self._note(f"bounce osd{event.osd} up")
+        elif isinstance(event, DegradeNIC):
+            self.ecfs.net.degrade(
+                event.node, event.bw_factor, event.extra_latency, event.loss_prob
+            )
+            self._note(f"degrade nic {event.node}")
+            if event.duration is not None:
+                yield env.timeout(event.duration)
+                self.ecfs.net.restore(event.node)
+                self._note(f"restore nic {event.node}")
+        elif isinstance(event, PartitionNet):
+            self.ecfs.net.partition(event.group)
+            self._note(f"partition {','.join(event.group)}")
+            if event.heal_after is not None:
+                yield env.timeout(event.heal_after)
+                self.ecfs.net.heal()
+                self._note("partition healed")
+        elif isinstance(event, SlowDisk):
+            device = self.ecfs.osds[event.osd].device
+            device.set_slowdown(event.factor)
+            self._note(f"slow disk osd{event.osd} x{event.factor}")
+            if event.duration is not None:
+                yield env.timeout(event.duration)
+                device.set_slowdown(1.0)
+                self._note(f"disk osd{event.osd} healthy")
+        elif isinstance(event, StickDisk):
+            self.ecfs.osds[event.osd].device.stick(event.duration)
+            self._note(f"stick disk osd{event.osd} for {event.duration}s")
+            yield env.timeout(event.duration)
+        elif isinstance(event, CorruptBlock):
+            bid = self._pick_block(event)
+            osd = self.ecfs.osd_hosting(bid)
+            nbytes = min(event.nbytes, self.ecfs.config.block_size - event.offset)
+            osd.store.corrupt(bid, event.offset, nbytes)
+            self.corrupted.append(bid)
+            self._note(f"corrupt {bid} on {osd.name} ({nbytes}B)")
+            yield env.timeout(0)
+        elif isinstance(event, ScrubPass):
+            report = yield env.process(
+                Scrubber(self.ecfs, repair=event.repair).scrub(), name="fault-scrub"
+            )
+            self.scrub_reports.append(report)
+            self._note(
+                f"scrub: {report.stripes_checked} checked, "
+                f"{len(report.repaired)} repaired"
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def _pick_block(self, event: CorruptBlock):
+        k = self.ecfs.rs.k
+        pool = sorted(self.ecfs.known_blocks)
+        if event.kind == "data":
+            pool = [b for b in pool if b.idx < k]
+        elif event.kind == "parity":
+            pool = [b for b in pool if b.idx >= k]
+        elif event.kind != "any":
+            raise ValueError(f"unknown corruption kind {event.kind!r}")
+        pool = [b for b in pool if not self.ecfs.osd_hosting(b).failed]
+        if not pool:
+            raise ValueError("no eligible block to corrupt")
+        return pool[event.nth % len(pool)]

@@ -1,0 +1,193 @@
+"""Scenario runner: workload trace + fault schedule + invariant oracle.
+
+A :class:`ScenarioSpec` composes a cluster geometry, an update method, a
+synthetic workload, a :class:`~repro.fault.events.FaultSchedule`, and a
+list of invariant checks.  :class:`ScenarioRunner` executes it:
+
+1. build + populate the cluster (``fill="random"`` so verification is
+   byte-strong), start heartbeats if asked, arm the fault injector;
+2. replay the trace with failure-tolerant closed-loop clients — ops that
+   error on a crashed node are counted, not fatal (degraded service);
+3. drain logs, wait for every fault (and its recovery) to settle, drain
+   again;
+4. run the scenario's invariant checks, the cluster-wide stripe-verify
+   oracle, and compute the canonical metric digest.
+
+Runs are seed-deterministic: the same spec + seed yields a byte-identical
+digest (asserted by the test suite and checkable via
+``python -m repro scenario <name> --seed N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ecfs import ECFS
+from repro.cluster.heartbeat import HeartbeatService
+from repro.common.units import KiB
+from repro.fault.digest import cluster_digest
+from repro.fault.events import FaultSchedule
+from repro.fault.injector import FaultInjector
+from repro.harness.runner import resolve_trace
+from repro.traces.replayer import TraceReplayer
+from repro.traces.synthetic import generate_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["ScenarioSpec", "ScenarioResult", "ScenarioRunner"]
+
+Check = Callable[[ECFS, FaultInjector], None]
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything needed to run one named failure scenario."""
+
+    name: str
+    description: str
+    method: str = "tsue"
+    n_osds: int = 10
+    k: int = 4
+    m: int = 2
+    block_size: int = 64 * KiB
+    log_unit_size: int = 128 * KiB
+    n_files: int = 2
+    stripes_per_file: int = 2
+    trace: str = "tencloud"
+    n_ops: int = 150
+    n_clients: int = 4
+    heartbeat: bool = False
+    hb_interval: float = 0.5
+    hb_timeout: float = 1.6
+    method_options: dict[str, Any] = field(default_factory=dict)
+    #: builds the fault schedule (specs are reusable: a fresh schedule per run)
+    build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
+        default=lambda spec: FaultSchedule()
+    )
+    #: invariant checks run after the run settles, before stripe-verify
+    checks: list[Check] = field(default_factory=list)
+
+    def cluster_config(self, seed: int) -> ClusterConfig:
+        return ClusterConfig(
+            n_osds=self.n_osds,
+            k=self.k,
+            m=self.m,
+            block_size=self.block_size,
+            log_unit_size=self.log_unit_size,
+            seed=seed,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    seed: int
+    digest: str
+    ops: int
+    updates: int
+    reads: int
+    failures: int
+    sim_time: float
+    stripes_verified: int
+    fault_log: list[tuple[float, str]]
+    recovery_reports: list
+    scrub_reports: list
+    detected: list[tuple[int, float]]  # heartbeat failure detections
+    readmitted: list[tuple[int, float]]  # heartbeat recovery detections
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.name} (seed {self.seed})",
+            f"  ops: {self.ops} ({self.updates} updates, {self.reads} reads, "
+            f"{self.failures} failed during outages)",
+            f"  sim time: {self.sim_time:.3f}s, "
+            f"stripes verified: {self.stripes_verified}",
+        ]
+        for t, text in self.fault_log:
+            lines.append(f"  [{t:9.4f}s] {text}")
+        for rep in self.recovery_reports:
+            lines.append(
+                f"  recovery osd{rep.failed_osd}: {rep.blocks_rebuilt} blocks, "
+                f"settle {rep.prepare_seconds:.4f}s + rebuild "
+                f"{rep.rebuild_seconds:.4f}s, {rep.bandwidth / 1e6:.1f} MB/s"
+            )
+        for rep in self.scrub_reports:
+            lines.append(
+                f"  scrub: {rep.stripes_checked} stripes, "
+                f"{len(rep.latent_errors)} latent errors, "
+                f"{len(rep.repaired)} repaired"
+            )
+        lines.append(f"  digest: {self.digest}")
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Executes a :class:`ScenarioSpec` deterministically."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    def run(self, seed: int = 2025) -> ScenarioResult:
+        spec = self.spec
+        ecfs = ECFS(
+            spec.cluster_config(seed),
+            method=spec.method,
+            method_options=dict(spec.method_options),
+        )
+        files = ecfs.populate(
+            n_files=spec.n_files,
+            stripes_per_file=spec.stripes_per_file,
+            fill="random",
+        )
+        heartbeat: Optional[HeartbeatService] = None
+        if spec.heartbeat:
+            heartbeat = HeartbeatService(
+                ecfs, interval=spec.hb_interval, timeout=spec.hb_timeout
+            )
+            heartbeat.start()
+        injector = FaultInjector(ecfs, spec.build_faults(spec))
+        injector.start()
+
+        file_bytes = ecfs.mds.lookup(files[0]).size
+        trace = generate_trace(
+            resolve_trace(spec.trace), spec.n_ops, files, file_bytes, seed=seed
+        )
+        replay = TraceReplayer(ecfs, trace).run(
+            spec.n_clients, tolerate_failures=True
+        )
+
+        # settle: flush logs so quiescence predicates can fire, let every
+        # fault (and its recovery) run to completion, then flush the
+        # replays/repairs the faults produced
+        ecfs.drain()
+        ecfs.env.run(injector.done())
+        if heartbeat is not None:
+            # grace period: restarted/healed nodes need a beat + a monitor
+            # tick to be readmitted
+            ecfs.env.run(until=ecfs.env.now + spec.hb_timeout + 2 * spec.hb_interval)
+            heartbeat.stop()
+        ecfs.drain()
+
+        for check in spec.checks:
+            check(ecfs, injector)
+        stripes = ecfs.verify()
+
+        return ScenarioResult(
+            name=spec.name,
+            seed=seed,
+            digest=cluster_digest(ecfs),
+            ops=replay.ops_issued,
+            updates=replay.updates,
+            reads=replay.reads,
+            failures=replay.failures,
+            sim_time=ecfs.env.now,
+            stripes_verified=stripes,
+            fault_log=list(injector.log),
+            recovery_reports=list(injector.recovery_reports),
+            scrub_reports=list(injector.scrub_reports),
+            detected=list(heartbeat.detected) if heartbeat else [],
+            readmitted=list(heartbeat.recovered) if heartbeat else [],
+        )

@@ -1,0 +1,276 @@
+"""The named scenario catalog (``python -m repro scenario --list``).
+
+Each entry is a factory returning a fresh :class:`ScenarioSpec`; all specs
+end with the cluster-wide stripe-verify oracle and a canonical metric
+digest, and every one is seed-deterministic.  To add a scenario, write a
+``_spec_<name>()`` factory composing a workload + :class:`FaultSchedule` +
+invariant checks, and register it in :data:`SCENARIOS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.units import KiB
+from repro.fault.events import (
+    BounceOSD,
+    CorruptBlock,
+    CrashOSD,
+    DegradeNIC,
+    FaultSchedule,
+    PartitionNet,
+    ScrubPass,
+    SlowDisk,
+    StickDisk,
+    after_drain,
+    after_ops,
+    after_recycles,
+)
+from repro.fault.runner import ScenarioSpec
+
+__all__ = ["SCENARIOS", "get_scenario"]
+
+
+# ------------------------------------------------------------------- checks
+def _expect_recoveries(n: int):
+    def check(ecfs, injector):
+        if len(injector.recovery_reports) != n:
+            raise AssertionError(
+                f"expected {n} recoveries, saw {len(injector.recovery_reports)}"
+            )
+        for report in injector.recovery_reports:
+            if report.blocks_rebuilt <= 0:
+                raise AssertionError("a recovery rebuilt nothing")
+
+    return check
+
+
+def _expect_no_recovery(ecfs, injector):
+    if injector.recovery_reports:
+        raise AssertionError("no rebuild expected in this scenario")
+
+
+def _expect_all_ops_served(ecfs, injector):
+    # outages may fail individual ops; a pure-degradation scenario must not
+    total = ecfs.metrics.updates.count + ecfs.metrics.reads.count
+    if total <= 0:
+        raise AssertionError("workload did not run")
+
+
+def _expect_scrub_repaired(n: int):
+    def check(ecfs, injector):
+        repaired = sum(len(r.repaired) for r in injector.scrub_reports)
+        if repaired != n:
+            raise AssertionError(f"expected {n} repaired blocks, saw {repaired}")
+        for osd in ecfs.osds:
+            if osd.store.corrupted:
+                raise AssertionError(f"{osd.name} still has latent errors")
+
+    return check
+
+
+# ---------------------------------------------------------------- scenarios
+def _spec_crash_mid_update() -> ScenarioSpec:
+    """Single OSD crashes with updates in flight; heartbeat detects it, the
+    cluster rebuilds, clients ride out the outage (Fig. 8b's story)."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        # recovery starts only after the heartbeat monitor had time to
+        # notice the silence (timeout + a couple of monitor ticks)
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 3),
+            CrashOSD(
+                osd=0, recover=True,
+                detect_delay=spec.hb_timeout + 2 * spec.hb_interval,
+            ),
+        )
+
+    return ScenarioSpec(
+        name="crash-mid-update",
+        description="single OSD crash mid-update; heartbeat-detected rebuild",
+        method="tsue",
+        heartbeat=True,
+        n_ops=180,
+        build_faults=faults,
+        checks=[_expect_recoveries(1)],
+    )
+
+
+def _spec_double_failure() -> ScenarioSpec:
+    """Two overlapping failures inside RS(6,3)'s tolerance: the second node
+    dies while the first rebuild may still be running — rebuild workers
+    retry against freshly chosen survivors."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return (
+            FaultSchedule()
+            .when(after_ops(spec.n_ops // 4), CrashOSD(osd=2, recover=True))
+            .when(after_ops(spec.n_ops // 2), CrashOSD(osd=7, recover=True))
+        )
+
+    return ScenarioSpec(
+        name="double-failure",
+        description="two crashes within RS(6,3) tolerance, overlapping rebuilds",
+        method="tsue",
+        n_osds=12,
+        k=6,
+        m=3,
+        n_ops=160,
+        build_faults=faults,
+        checks=[_expect_recoveries(2)],
+    )
+
+
+def _spec_crash_during_recycle() -> ScenarioSpec:
+    """Crash lands while the three-layer log pipeline is actively recycling
+    (DataLog/DeltaLog/ParityLog units in flight): exactly-once replay from
+    the stash + dedup tokens keeps every acked update durable."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return FaultSchedule().when(
+            after_recycles(3),
+            CrashOSD(osd=1, recover=True),
+            poll=0.002,  # land close to the recycle activity
+            deadline=None,
+        )
+
+    return ScenarioSpec(
+        name="crash-during-recycle",
+        description="OSD crash amid DataLog/DeltaLog/ParityLog recycling",
+        method="tsue",
+        log_unit_size=64 * KiB,  # block-sized units force frequent recycles
+        n_ops=220,
+        build_faults=faults,
+        checks=[_expect_recoveries(1)],
+    )
+
+
+def _spec_rolling_restart() -> ScenarioSpec:
+    """Three nodes bounce in sequence (transient downtime, contents intact,
+    no rebuild): parity deltas addressed to a down node are buffered and
+    replayed on restart, so the cluster verifies without any re-encode."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        # short downtimes: the bounces stay (mostly) disjoint, so the
+        # cluster never exceeds its m=2 concurrent-outage tolerance
+        return (
+            FaultSchedule()
+            .when(after_ops(spec.n_ops // 4), BounceOSD(osd=0, downtime=0.01))
+            .when(after_ops(spec.n_ops // 2), BounceOSD(osd=1, downtime=0.01))
+            .when(after_ops(3 * spec.n_ops // 4), BounceOSD(osd=2, downtime=0.01))
+        )
+
+    return ScenarioSpec(
+        name="rolling-restart",
+        description="rolling restarts of three OSDs under load, no rebuild",
+        method="tsue",
+        n_ops=200,
+        build_faults=faults,
+        checks=[_expect_no_recovery],
+    )
+
+
+def _spec_partition_heal() -> ScenarioSpec:
+    """A two-node island is cut off: heartbeats stop crossing the cut, the
+    MDS declares the islanders dead, the partition heals, and the monitor
+    readmits them — no data was lost, nothing is rebuilt."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 4),
+            PartitionNet(group=("osd0", "osd1"), heal_after=spec.hb_timeout + 2.0),
+        )
+
+    def check_detected(ecfs, injector):
+        # the islanders must have been declared failed and later readmitted
+        if ecfs.mds.failed & {0, 1}:
+            raise AssertionError("islanders were not readmitted after the heal")
+
+    return ScenarioSpec(
+        name="partition-heal",
+        description="network partition detected by heartbeats, then healed",
+        method="tsue",
+        heartbeat=True,
+        n_ops=160,
+        build_faults=faults,
+        checks=[_expect_no_recovery, check_detected],
+    )
+
+
+def _spec_scrub_repair() -> ScenarioSpec:
+    """Latent sector corruption strikes one data and one parity block after
+    the workload settles; the scrubber's checksum pass localizes both,
+    reconstructs them by RS decode, and rewrites them in place."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        settled = lambda e: after_ops(spec.n_ops)(e) and after_drain(e)  # noqa: E731
+        corrupted = lambda e: any(  # noqa: E731
+            osd.store.corrupted for osd in e.osds
+        )
+        return (
+            FaultSchedule()
+            .when(settled, CorruptBlock(nth=1, kind="data", offset=4096, nbytes=512))
+            .when(settled, CorruptBlock(nth=2, kind="parity", offset=0, nbytes=2048))
+            .when(corrupted, ScrubPass(repair=True))
+        )
+
+    return ScenarioSpec(
+        name="scrub-repair",
+        description="latent sector corruption found and repaired by scrub",
+        method="tsue",
+        n_ops=120,
+        build_faults=faults,
+        checks=[_expect_scrub_repaired(2), _expect_no_recovery],
+    )
+
+
+def _spec_slow_disk() -> ScenarioSpec:
+    """Gray failure: one node's disk slows 6x and briefly hangs while its
+    NIC loses packets and adds latency — service degrades but every op
+    completes and the cluster stays consistent."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return (
+            FaultSchedule()
+            .when(after_ops(spec.n_ops // 5), SlowDisk(osd=3, factor=6.0))
+            .when(
+                after_ops(spec.n_ops // 5),
+                DegradeNIC(
+                    node="osd3", bw_factor=0.5, extra_latency=2e-4, loss_prob=0.02
+                ),
+            )
+            .when(after_ops(spec.n_ops // 2), StickDisk(osd=3, duration=0.05))
+        )
+
+    return ScenarioSpec(
+        name="slow-disk",
+        description="gray failure: slow/stuck disk + degraded lossy NIC",
+        method="tsue",
+        n_ops=160,
+        build_faults=faults,
+        checks=[_expect_all_ops_served, _expect_no_recovery],
+    )
+
+
+_FACTORIES = [
+    _spec_crash_mid_update,
+    _spec_double_failure,
+    _spec_crash_during_recycle,
+    _spec_rolling_restart,
+    _spec_partition_heal,
+    _spec_scrub_repair,
+    _spec_slow_disk,
+]
+
+SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {
+    factory().name: factory for factory in _FACTORIES
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper artifact.
+"""Command-line entry point: regenerate any paper artifact, run scenarios.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro fig5 [--scale full]  # regenerate Fig. 5
     python -m repro table1
     python -m repro all --scale quick
+    python -m repro scenario --list      # fault-injection scenario catalog
+    python -m repro scenario crash-mid-update --seed 7
 """
 
 from __future__ import annotations
@@ -33,16 +35,44 @@ EXPERIMENTS: dict[str, Callable[[], tuple[str, dict]]] = {
 }
 
 
+def _run_scenario(args) -> int:
+    # imported lazily so plain experiment runs stay light
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import SCENARIOS, get_scenario
+
+    if args.list or args.name is None:
+        for name in sorted(SCENARIOS):
+            print(f"{name:24s} {SCENARIOS[name]().description}")
+        return 0
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    t0 = time.time()
+    result = ScenarioRunner(spec).run(seed=args.seed)
+    print(result.summary())
+    print(f"[{spec.name}: {time.time() - t0:.1f}s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the TSUE paper's tables and figures "
-        "on the simulated cluster.",
+        description="Regenerate the TSUE paper's tables and figures on the "
+        "simulated cluster, or run a named fault-injection scenario.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="artifact to regenerate ('all' runs everything, 'list' enumerates)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario"],
+        help="artifact to regenerate ('all' runs everything, 'list' "
+        "enumerates, 'scenario' runs the fault-injection harness)",
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario name (with 'scenario'; omit or use --list to browse)",
     )
     parser.add_argument(
         "--scale",
@@ -50,7 +80,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="experiment scale (default: REPRO_SCALE env or 'quick')",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="with 'scenario': list the catalog and exit",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2025,
+        help="with 'scenario': simulation seed (same seed = same digest)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "scenario":
+        return _run_scenario(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

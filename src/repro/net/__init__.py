@@ -6,6 +6,6 @@ paper's single 25 Gb/s ToR switch.  All bytes moved are accounted per node
 and globally — the NETWORK TRAFFIC column of Table 1.
 """
 
-from repro.net.fabric import NetworkFabric, NetParams, NIC
+from repro.net.fabric import LinkFault, NetworkFabric, NetParams, NIC
 
-__all__ = ["NetworkFabric", "NetParams", "NIC"]
+__all__ = ["LinkFault", "NetworkFabric", "NetParams", "NIC"]

@@ -1,14 +1,24 @@
-"""NIC + switch fabric on the DES."""
+"""NIC + switch fabric on the DES, with injectable link faults.
+
+Fault hooks (driven by :mod:`repro.fault`): per-node degradation
+(:meth:`NetworkFabric.degrade` — bandwidth factor, extra latency, loss
+probability with deterministic retransmit) and group partitions
+(:meth:`NetworkFabric.partition` / :meth:`NetworkFabric.heal` — transfers
+across the cut block until the partition heals, which is how heartbeat
+timeouts "see" a partitioned node as dead).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Iterable
+
+import numpy as np
 
 from repro.common.units import Gbps
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Event, Resource
 
-__all__ = ["NetParams", "NIC", "NetworkFabric"]
+__all__ = ["NetParams", "LinkFault", "NIC", "NetworkFabric"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +38,23 @@ class NetParams:
             raise ValueError("bandwidth must be positive")
         if self.latency < 0 or self.per_message_overhead < 0:
             raise ValueError("latencies must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Perturbation applied to one node's NIC (both directions)."""
+
+    bw_factor: float = 1.0  # multiplies usable bandwidth (0 < f <= 1)
+    extra_latency: float = 0.0  # added one-way latency in seconds
+    loss_prob: float = 0.0  # per-message drop probability (retransmitted)
+
+    def validate(self) -> None:
+        if not 0 < self.bw_factor <= 1:
+            raise ValueError("bw_factor must be in (0, 1]")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+        if not 0 <= self.loss_prob < 1:
+            raise ValueError("loss_prob must be in [0, 1)")
 
 
 class NIC:
@@ -56,13 +83,27 @@ class NetworkFabric:
     nominally to model full-duplex pipelining without double-counting time).
     """
 
-    def __init__(self, env: Environment, params: NetParams | None = None) -> None:
+    #: backoff before a lost message is retransmitted (seconds)
+    RETRANSMIT_TIMEOUT = 1e-3
+
+    def __init__(
+        self,
+        env: Environment,
+        params: NetParams | None = None,
+        fault_seed: int = 0x5EED,
+    ) -> None:
         self.env = env
         self.params = params or NetParams()
         self.params.validate()
         self.nics: dict[str, NIC] = {}
         self.total_bytes = 0
         self.total_msgs = 0
+        # fault state
+        self._faults: dict[str, LinkFault] = {}
+        self._groups: dict[str, int] = {}  # node -> partition group (default 0)
+        self._heal_waiters: list[Event] = []
+        self._loss_rng = np.random.default_rng(fault_seed)
+        self.dropped_msgs = 0
 
     def add_node(self, name: str) -> NIC:
         if name in self.nics:
@@ -70,6 +111,57 @@ class NetworkFabric:
         nic = NIC(self.env, name, self.params)
         self.nics[name] = nic
         return nic
+
+    # --------------------------------------------------------- fault control
+    def degrade(
+        self,
+        node: str,
+        bw_factor: float = 1.0,
+        extra_latency: float = 0.0,
+        loss_prob: float = 0.0,
+    ) -> None:
+        """Degrade one node's NIC (applies to its sends and receives)."""
+        self._nic(node)  # validate the name
+        fault = LinkFault(bw_factor, extra_latency, loss_prob)
+        fault.validate()
+        self._faults[node] = fault
+
+    def restore(self, node: str) -> None:
+        """Remove any degradation on ``node``."""
+        self._faults.pop(node, None)
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the fabric: each ``groups`` entry becomes an island; nodes
+        not named stay together in the default island.  Transfers across
+        islands block until the cut between their endpoints is gone (a new
+        partition layout re-evaluates them, a :meth:`heal` releases all)."""
+        assignment: dict[str, int] = {}
+        for gid, group in enumerate(groups, start=1):
+            for node in group:
+                self._nic(node)  # validate
+                assignment[node] = gid
+        self._groups = assignment
+        # a new layout may reconnect endpoints of parked transfers: wake
+        # them all; each re-checks reachability and re-parks if still cut
+        waiters, self._heal_waiters = self._heal_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def heal(self) -> None:
+        """Rejoin all partitions; blocked transfers resume immediately."""
+        self._groups = {}
+        waiters, self._heal_waiters = self._heal_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self._groups.get(src, 0) == self._groups.get(dst, 0)
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._groups)
 
     def transfer(self, src: str, dst: str, nbytes: int) -> Generator:
         """Move ``nbytes`` from ``src`` to ``dst``; yields until delivered."""
@@ -80,13 +172,37 @@ class NetworkFabric:
         p = self.params
         src_nic = self._nic(src)
         dst_nic = self._nic(dst)
-        wire_time = nbytes / p.bandwidth
+
+        # A cut link delivers nothing: wait for the partition to heal.
+        while not self.reachable(src, dst):
+            waiter = self.env.event()
+            self._heal_waiters.append(waiter)
+            yield waiter
+
+        src_fault = self._faults.get(src)
+        dst_fault = self._faults.get(dst)
+        bw_factor = min(
+            src_fault.bw_factor if src_fault else 1.0,
+            dst_fault.bw_factor if dst_fault else 1.0,
+        )
+        extra_latency = (src_fault.extra_latency if src_fault else 0.0) + (
+            dst_fault.extra_latency if dst_fault else 0.0
+        )
+        loss = 1.0 - (1.0 - (src_fault.loss_prob if src_fault else 0.0)) * (
+            1.0 - (dst_fault.loss_prob if dst_fault else 0.0)
+        )
+        wire_time = nbytes / (p.bandwidth * bw_factor)
+
+        # Lossy links retransmit after a timeout (deterministic RNG stream).
+        while loss > 0 and self._loss_rng.random() < loss:
+            self.dropped_msgs += 1
+            yield self.env.timeout(self.RETRANSMIT_TIMEOUT)
 
         with src_nic.tx.request() as tx:
             yield tx
             yield self.env.timeout(p.per_message_overhead + wire_time)
         # Propagation through the fabric.
-        yield self.env.timeout(p.latency)
+        yield self.env.timeout(p.latency + extra_latency)
         # Receiver-side occupancy: the RX port is busy for the wire time too
         # (it cannot accept two full-rate flows at once).
         with dst_nic.rx.request() as rx:

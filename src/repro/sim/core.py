@@ -270,11 +270,16 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self._state != _PENDING:
-            return
         if not event._ok:
+            # The condition consumes member failures even after it has
+            # already triggered: when two branches fail (e.g. two parity
+            # writes hitting one crashed node) the second failure must not
+            # escape as an unhandled event and abort the whole simulation.
             event._defused = True
-            self.fail(event._value)
+            if self._state == _PENDING:
+                self.fail(event._value)
+            return
+        if self._state != _PENDING:
             return
         self._count += 1
         if self._count == len(self._events):
@@ -287,11 +292,12 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self._state != _PENDING:
-            return
         if not event._ok:
             event._defused = True
-            self.fail(event._value)
+            if self._state == _PENDING:
+                self.fail(event._value)
+            return
+        if self._state != _PENDING:
             return
         self.succeed(self._collect())
 

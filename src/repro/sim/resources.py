@@ -165,6 +165,18 @@ class Store:
             self._putters.append(ev)
         return ev
 
+    def put_front(self, item: Any) -> StorePut:
+        """Insert at the head of the queue (recovery requeues use this so an
+        interrupted item replays before newer ones — FIFO is preserved)."""
+        ev = StorePut(self.env, item)
+        if len(self.items) < self.capacity:
+            self.items.appendleft(item)
+            ev.succeed()
+            self._wake_getters()
+        else:
+            self._putters.appendleft(ev)
+        return ev
+
     def get(self) -> StoreGet:
         ev = StoreGet(self.env)
         if self.items:

@@ -93,6 +93,11 @@ class StorageDevice:
         self.resource = PriorityResource(env, capacity=channels)
         self.counters = DeviceCounters()
         self._stream_end: dict[str, int] = {}
+        # fault-injection state (repro.fault): service-time inflation and a
+        # stuck interval during which no command completes
+        self.slow_factor = 1.0
+        self._stuck_until = 0.0
+        self.fault_delay_time = 0.0
 
     # ------------------------------------------------------------------ API
     def submit(self, req: IORequest) -> Generator:
@@ -101,10 +106,28 @@ class StorageDevice:
         """
         with self.resource.request(priority=req.priority) as grant:
             yield grant
+            if self.env.now < self._stuck_until:
+                delay = self._stuck_until - self.env.now
+                self.fault_delay_time += delay
+                yield self.env.timeout(delay)
             sequential = self._classify(req)
-            service = self._service_time(req, sequential)
+            service = self._service_time(req, sequential) * self.slow_factor
             self._account(req, sequential, service)
             yield self.env.timeout(service)
+
+    # --------------------------------------------------------- fault control
+    def set_slowdown(self, factor: float) -> None:
+        """Inflate every service time by ``factor`` (1.0 restores health)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slow_factor = factor
+
+    def stick(self, duration: float) -> None:
+        """Hang the device: commands at the head of the queue stall until
+        ``duration`` seconds from now (models a stuck/timeout-prone disk)."""
+        if duration < 0:
+            raise ValueError("stuck duration must be non-negative")
+        self._stuck_until = max(self._stuck_until, self.env.now + duration)
 
     def estimate(self, req: IORequest) -> float:
         """Service time the request *would* take now (no queueing, no state

@@ -24,6 +24,8 @@ class BlockStore:
             raise ValueError("block_size must be positive")
         self.block_size = block_size
         self._blocks: dict[Hashable, np.ndarray] = {}
+        #: blocks carrying a latent sector error (drive-detectable on read)
+        self.corrupted: set[Hashable] = set()
 
     def __contains__(self, block_id: Hashable) -> bool:
         return block_id in self._blocks
@@ -78,8 +80,23 @@ class BlockStore:
         self._check_range(offset, delta.shape[0])
         self.ensure(block_id)[offset : offset + delta.shape[0]] ^= delta
 
+    def corrupt(self, block_id: Hashable, offset: int, nbytes: int) -> None:
+        """Inject a latent sector error: flip bytes in place, bypassing the
+        write path.  The damage is flagged in :attr:`corrupted` — the model's
+        stand-in for the per-sector checksum a real drive fails on read —
+        which scrubbing consults to localize and repair the block."""
+        block = self._get(block_id)
+        self._check_range(offset, nbytes)
+        block[offset : offset + nbytes] ^= 0xA5  # guaranteed to change bytes
+        self.corrupted.add(block_id)
+
+    def mark_clean(self, block_id: Hashable) -> None:
+        """Clear the latent-error flag after a repair rewrote the block."""
+        self.corrupted.discard(block_id)
+
     def delete(self, block_id: Hashable) -> None:
         self._blocks.pop(block_id, None)
+        self.corrupted.discard(block_id)
 
     def nbytes(self) -> int:
         return len(self._blocks) * self.block_size

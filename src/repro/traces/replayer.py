@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Generator, Sequence
 
 from repro.cluster.ecfs import ECFS
+from repro.common.errors import DecodeError, IntegrityError
 from repro.traces.record import TraceRecord
 
 __all__ = ["ReplayResult", "TraceReplayer"]
@@ -22,6 +23,7 @@ class ReplayResult:
     updates: int
     reads: int
     elapsed: float
+    failures: int = 0  # ops the cluster errored on (tolerate_failures mode)
 
     @property
     def iops(self) -> float:
@@ -37,16 +39,27 @@ class TraceReplayer:
         self._cursor = 0
         self._updates = 0
         self._reads = 0
+        self._failures = 0
+        self._tolerate = False
 
     # ------------------------------------------------------------------ API
-    def run(self, n_clients: int, duration: float | None = None) -> ReplayResult:
+    def run(
+        self,
+        n_clients: int,
+        duration: float | None = None,
+        tolerate_failures: bool = False,
+    ) -> ReplayResult:
         """Replay with ``n_clients`` closed-loop clients.
 
         Stops when the trace is exhausted, or at ``duration`` simulated
-        seconds if given (whichever comes first).
+        seconds if given (whichever comes first).  With
+        ``tolerate_failures`` an op erroring on a failed node is counted in
+        ``failures`` and the client moves on — how a fault-injection run
+        keeps serving while nodes crash and recover under it.
         """
         ecfs = self.ecfs
         env = ecfs.env
+        self._tolerate = tolerate_failures
         while len(ecfs.clients) < n_clients:
             ecfs.add_clients(1)
         start = env.now
@@ -62,6 +75,7 @@ class TraceReplayer:
             updates=self._updates,
             reads=self._reads,
             elapsed=env.now - start,
+            failures=self._failures,
         )
 
     # ------------------------------------------------------------ internals
@@ -81,14 +95,23 @@ class TraceReplayer:
             if rec is None:
                 return
             if rec.op == "read":
-                yield env.process(
+                proc = env.process(
                     client.read(rec.file_id, rec.offset, rec.size),
                     name=f"{client.name}-read",
                 )
-                self._reads += 1
             else:
-                yield env.process(
+                proc = env.process(
                     client.update(rec.file_id, rec.offset, rec.size),
                     name=f"{client.name}-upd",
                 )
+            try:
+                yield proc
+            except (IntegrityError, DecodeError):
+                if not self._tolerate:
+                    raise
+                self._failures += 1
+                continue
+            if rec.op == "read":
+                self._reads += 1
+            else:
                 self._updates += 1

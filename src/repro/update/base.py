@@ -40,6 +40,16 @@ class UpdateMethod:
 
     def __init__(self, ecfs: "ECFS") -> None:
         self.ecfs = ecfs
+        # stripes whose popped log content is mid-application (the entries
+        # left the visible log but their parity work has not finished):
+        # counted so overlapping recycles nest correctly
+        self._busy_stripes: dict[tuple[int, int], int] = {}
+        # parity ROWS that missed a delta because their node was down (the
+        # op's data committed in place): each is re-encoded from data once
+        # its host is reachable — the model's equivalent of a degraded-
+        # stripe resync on peering.  A row whose host stays dead is the
+        # rebuild's job (decode/re-encode), not the resync's.
+        self._parity_resync: set[BlockId] = set()
 
     # ------------------------------------------------------------ lifecycle
     def attach(self, osd: OSD) -> None:
@@ -56,6 +66,135 @@ class UpdateMethod:
         """Outstanding log bytes on this OSD that recovery must merge first."""
         return 0
 
+    def unsettled_stripes(self) -> set[tuple[int, int]]:
+        """Stripes with updates applied to data but still pending on parity.
+
+        At any instant such a stripe's blocks are NOT a consistent codeword,
+        so reconstruction must wait it out (``RecoveryManager`` polls this
+        before capturing decode sources).  The set is pending log/busy work
+        (:meth:`_pending_unsettled`, which methods override) plus
+        resync-marked rows that are currently repairable; a marked row
+        whose host (or a data host) is down is excluded — it cannot settle
+        until that host's rebuild, which must be allowed to proceed (a dead
+        row is also no obstacle to decoding: reconstruction never selects
+        it as a source)."""
+        return self._pending_unsettled() | {
+            (pbid.file_id, pbid.stripe)
+            for pbid in self._parity_resync
+            if self._resync_eligible(pbid)
+        }
+
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Stripes with deltas in logs/buffers or mid-application.  Methods
+        whose logs hold deltas that data blocks already carry in place
+        override this (and must union in :attr:`_busy_stripes`); unapplied
+        log records (data not yet in place either) are harmless and must
+        NOT be reported."""
+        return set(self._busy_stripes)
+
+    def _resync_eligible(self, pbid: BlockId) -> bool:
+        """A marked row is repairable iff its own host and every data host
+        are reachable."""
+        if self.ecfs.osd_hosting(pbid).failed:
+            return False
+        return not any(
+            self.ecfs.osd_hosting(BlockId(pbid.file_id, pbid.stripe, i)).failed
+            for i in range(self.ecfs.rs.k)
+        )
+
+    def _mark_parity_resync(self, pbid: BlockId) -> None:
+        """Record that parity row ``pbid`` missed a delta."""
+        self._parity_resync.add(pbid)
+
+    def resync_pending(self) -> bool:
+        """True if any marked parity row is currently repairable (drives
+        the drain/settle loop — see :meth:`ECFS.drain`)."""
+        return any(self._resync_eligible(pbid) for pbid in self._parity_resync)
+
+    def resync_parity(self, priority: int = IOPriority.FOREGROUND) -> Generator:
+        """Re-encode resync-marked parity rows from data.
+
+        Each stripe is repaired under a freeze, after its pending deltas
+        drained and with no update in flight, so nothing tears the data
+        capture or races a concurrent delta application.  Rows that are not
+        currently repairable stay marked for a later pass (or for their
+        host's rebuild, whose re-encode makes the late repair a no-op)."""
+        if not self._parity_resync:
+            yield self.env.timeout(0)
+            return
+        ecfs = self.ecfs
+        rs = ecfs.rs
+        bs = ecfs.config.block_size
+        by_stripe: dict[tuple[int, int], list[BlockId]] = {}
+        for pbid in sorted(self._parity_resync):
+            by_stripe.setdefault((pbid.file_id, pbid.stripe), []).append(pbid)
+        for (file_id, stripe), rows in sorted(by_stripe.items()):
+            rows = [p for p in rows if self._resync_eligible(p)]
+            if not rows:
+                continue  # a needed host is down; retried after its rebuild
+            key = (file_id, stripe)
+            if (
+                key in self._pending_unsettled()
+                or ecfs.inflight_updates(file_id, stripe)
+                or ecfs.stripe_frozen(file_id, stripe)
+            ):
+                # not settleable right now (deltas still draining or the
+                # stripe is locked) — stays marked, retried by the caller's
+                # next flush+resync pass rather than blocking here
+                continue
+            ecfs.freeze_stripe(file_id, stripe)
+            try:
+                hosts = [
+                    ecfs.osd_hosting(BlockId(file_id, stripe, i))
+                    for i in range(rs.k)
+                ]
+                if any(h.failed for h in hosts):
+                    continue  # failed while we waited; retried later
+                data = []
+                for i, osd in enumerate(hosts):
+                    bid = BlockId(file_id, stripe, i)
+                    yield from osd.io_block(
+                        IOKind.READ, bid, 0, bs, priority, tag="parity-resync"
+                    )
+                    data.append(
+                        osd.store.read(bid) if bid in osd.store
+                        else np.zeros(bs, dtype=np.uint8)
+                    )
+                yield self.env.timeout(self.costs.gf_mul(bs * rs.k, terms=rs.m))
+                parity = rs.encode(data)
+                for pbid in rows:
+                    posd = ecfs.osd_hosting(pbid)
+                    if posd.failed:
+                        continue  # died while we read; stays marked
+                    yield from ecfs.net.transfer(hosts[0].name, posd.name, bs)
+                    yield from posd.io_block(
+                        IOKind.WRITE, pbid, 0, bs, priority,
+                        overwrite=True, tag="parity-resync",
+                    )
+                    j = pbid.idx - rs.k
+                    if pbid in posd.store:
+                        posd.store.write(pbid, 0, parity[j])
+                    else:
+                        posd.store.create(pbid, parity[j])
+                    self._parity_resync.discard(pbid)
+            finally:
+                ecfs.thaw_stripe(file_id, stripe)
+
+    def _stripes_busy_begin(self, stripes: set[tuple[int, int]]) -> None:
+        """Mark popped-log content as mid-application: there must be no
+        instant where a delta is neither in a visible log nor busy, or a
+        concurrent reconstruction could capture a torn stripe."""
+        for key in stripes:
+            self._busy_stripes[key] = self._busy_stripes.get(key, 0) + 1
+
+    def _stripes_busy_end(self, stripes: set[tuple[int, int]]) -> None:
+        for key in stripes:
+            left = self._busy_stripes.get(key, 0) - 1
+            if left > 0:
+                self._busy_stripes[key] = left
+            else:
+                self._busy_stripes.pop(key, None)
+
     # ----------------------------------------------------- recovery hooks
     def quiesce_node(self, victim: OSD) -> Generator:
         """Wait for in-flight background work on ``victim`` before it fails."""
@@ -70,10 +209,22 @@ class UpdateMethod:
         stashes the victim's DataLog/DeltaLog content for replica replay.
         """
 
+    def on_node_restarted(self, osd: OSD) -> None:
+        """A transiently-down node came back with its contents intact (no
+        rebuild happened).  Methods with background machinery resume it and
+        replay anything they buffered for the node while it was down; the
+        default repairs parity rows that missed deltas during the outage."""
+        if self._parity_resync:
+            self.ecfs.env.process(
+                self.resync_parity(IOPriority.BACKGROUND),
+                name=f"resync-{osd.name}",
+            )
+
     def pre_rebuild(self) -> Generator:
         """Work required after survivor log settlement but before decode
-        (e.g. replaying the victim's replicated logs)."""
-        yield self.ecfs.env.timeout(0)
+        (e.g. replaying the victim's replicated logs).  The default repairs
+        parity rows that lost deltas, so decode sources are consistent."""
+        yield from self.resync_parity()
 
     def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
         """Apply any stashed updates for a freshly decoded block."""
@@ -155,8 +306,15 @@ class UpdateMethod:
         pdelta: np.ndarray,
         priority: int = IOPriority.FOREGROUND,
         tag: str = "",
+        frozen_ok: bool = False,
     ) -> Generator:
-        """Read-XOR-write a parity range in place at the parity OSD."""
+        """Read-XOR-write a parity range in place at the parity OSD.
+
+        ``frozen_ok`` is for reconstruction-internal replays (post_rebuild)
+        that run while their own stripe is frozen."""
+        if not frozen_ok:
+            # reconstruction may hold the stripe frozen (capture -> re-home)
+            yield from self.ecfs.wait_stripe_thaw(pblock.file_id, pblock.stripe)
         size = int(pdelta.shape[0])
         yield from posd.io_block(IOKind.READ, pblock, offset, size, priority, tag=tag)
         yield self.env.timeout(self.costs.xor(size))

@@ -24,6 +24,7 @@ from typing import Generator
 from repro.cluster.client import UpdateOp
 from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
+from repro.common.errors import IntegrityError
 from repro.core.intervals import ExtentMap, MergePolicy
 from repro.gf.field import gf_mul_scalar
 from repro.sim import Event
@@ -57,8 +58,19 @@ class CoRD(UpdateMethod):
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         delta = yield from self.data_rmw(osd, op)
         collector = self._collector_of(op.block)
+        if collector.failed:
+            # the data block holds the update in place; every parity row
+            # catches up via the degraded-stripe resync
+            for _j, _posd, pbid in self.parity_targets(op.block):
+                self._mark_parity_resync(pbid)
+            return
         yield from self.forward(osd, collector, op.size)
-        yield from self._collector_append(collector, op, delta)
+        try:
+            yield from self._collector_append(collector, op, delta)
+        except IntegrityError:
+            # collector died mid-append: the delta reached no parity row
+            for _j, _posd, pbid in self.parity_targets(op.block):
+                self._mark_parity_resync(pbid)
 
     def _collector_of(self, block: BlockId) -> OSD:
         pbid = BlockId(block.file_id, block.stripe, self.ecfs.rs.k)  # parity 0
@@ -112,11 +124,26 @@ class CoRD(UpdateMethod):
         self, collector: OSD, snapshot: _Buffers, priority: int
     ) -> Generator:
         """Eq. (5) merge + fan-out + in-place parity application."""
+        stripes = set(snapshot.keys())
+        self._stripes_busy_begin(stripes)
+        try:
+            yield from self._apply_snapshot_inner(collector, snapshot, priority)
+        finally:
+            self._stripes_busy_end(stripes)
+
+    def _apply_snapshot_inner(
+        self, collector: OSD, snapshot: _Buffers, priority: int
+    ) -> Generator:
         rs = self.ecfs.rs
         for (file_id, stripe), per_idx in snapshot.items():
             for j in range(rs.m):
                 pbid = BlockId(file_id, stripe, rs.k + j)
                 posd = self.ecfs.osd_hosting(pbid)
+                if posd.failed:
+                    # this row misses the merged deltas: resynced when the
+                    # node restarts, or re-encoded by its rebuild
+                    self._mark_parity_resync(pbid)
+                    continue
                 merged = ExtentMap(MergePolicy.XOR)
                 for didx, emap in per_idx.items():
                     coef = self.parity_coef(j, didx)
@@ -124,10 +151,18 @@ class CoRD(UpdateMethod):
                         yield self.env.timeout(self.costs.gf_mul(ext.size))
                         merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
                 for ext in merged.extents():
-                    yield from self.forward(collector, posd, ext.size)
-                    yield from self.parity_rmw(
-                        posd, pbid, ext.start, ext.data, priority, tag="cord-recycle"
-                    )
+                    try:
+                        yield from self.forward(collector, posd, ext.size)
+                        yield from self.parity_rmw(
+                            posd, pbid, ext.start, ext.data, priority,
+                            tag="cord-recycle",
+                        )
+                    except IntegrityError:
+                        # the parity host died mid-apply; the snapshot was
+                        # already popped, so the row is repaired by resync
+                        # (restart) or its rebuild's re-encode
+                        self._mark_parity_resync(pbid)
+                        break
 
     # ---------------------------------------------------------------- drain
     def flush(self) -> Generator:
@@ -154,11 +189,31 @@ class CoRD(UpdateMethod):
     def log_debt_bytes(self, osd: OSD) -> int:
         return self._buffer_used.get(osd.name, 0)
 
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Collector-buffered deltas and in-flight recycle snapshots have
+        parity lagging data (resync-marked stripes are handled by the
+        base class)."""
+        out: set[tuple[int, int]] = set(self._busy_stripes)
+        for buffers in self._buffers.values():
+            out.update(buffers.keys())
+        return out
+
     def on_node_failed(self, victim: OSD) -> None:
         """CoRD's buffer log has no replica: deltas buffered at a failed
         collector are lost (the paper does not include CoRD in its recovery
-        evaluation; its single unreplicated buffer is part of why)."""
-        self._buffers.pop(victim.name, None)
+        evaluation; its single unreplicated buffer is part of why).  The
+        data blocks hold every acked update in place, so recovery re-syncs
+        the affected stripes' surviving parity from data — an expensive full
+        re-encode that is the price of the unreplicated buffer.  (If a
+        second failure takes a data block of such a stripe before the
+        resync, the lost range is genuinely unrecoverable and verification
+        reports it.)"""
+        snapshot = self._buffers.pop(victim.name, None)
+        if snapshot:
+            rs = self.ecfs.rs
+            for file_id, stripe in snapshot.keys():
+                for j in range(rs.m):
+                    self._parity_resync.add(BlockId(file_id, stripe, rs.k + j))
         self._buffer_used[victim.name] = 0
         self._recycling[victim.name] = False
 

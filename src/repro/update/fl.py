@@ -42,6 +42,9 @@ class FullLogging(UpdateMethod):
         self._log_bytes: dict[str, int] = defaultdict(int)
         self._raw_entries: dict[str, int] = defaultdict(int)
         self._locks: dict[str, Resource] = {}
+        # unmerged entries of a failed node, recovered from the parity-side
+        # mirror logs and replayed onto the rebuilt blocks
+        self._stash: dict[BlockId, list] = {}
 
     def attach(self, osd: OSD) -> None:
         self._locks[osd.name] = Resource(self.env, capacity=1)
@@ -60,8 +63,10 @@ class FullLogging(UpdateMethod):
         sends = [
             self.env.process(self._mirror(osd, posd, op), name=f"fl-p{j}")
             for j, posd, _pbid in self.parity_targets(op.block)
+            if not posd.failed
         ]
-        yield self.env.all_of(sends)
+        if sends:
+            yield self.env.all_of(sends)
 
     def _mirror(self, osd: OSD, posd: OSD, op: UpdateOp) -> Generator:
         yield from self.forward(osd, posd, op.size)
@@ -104,6 +109,8 @@ class FullLogging(UpdateMethod):
             per_osd[self.ecfs.osd_hosting(block).name].append(block)
         jobs = []
         for osd in self.ecfs.osds:
+            if osd.failed:
+                continue  # stashed at failure; replayed onto the rebuild
             blocks = per_osd.get(osd.name)
             if blocks:
                 jobs.append(
@@ -122,48 +129,135 @@ class FullLogging(UpdateMethod):
         with self._locks[osd.name].request() as lock:
             yield lock  # recycle excludes appends and reads
             for block in blocks:
-                emap = self._datalog.pop(block, None)
+                # pop only after a fully successful application: a crash
+                # mid-apply must leave the entry for the stash/replay path
+                # (re-application is idempotent — latest-wins data writes
+                # and recomputed deltas collapse to zero)
+                emap = self._datalog.get(block)
                 if emap is None:
                     continue
-                for ext in emap.extents():
-                    # read old, write merged data in place, derive deltas
-                    yield from osd.io_block(
-                        IOKind.READ, block, ext.start, ext.size,
+                stripes = {(block.file_id, block.stripe)}
+                self._stripes_busy_begin(stripes)
+                try:
+                    yield from self._apply_block_log(osd, block, emap)
+                    self._datalog.pop(block, None)
+                finally:
+                    self._stripes_busy_end(stripes)
+            self._log_bytes[osd.name] = 0
+
+    def _apply_block_log(self, osd: OSD, block: BlockId, emap: ExtentMap) -> Generator:
+        for ext in emap.extents():
+            # read old, write merged data in place, derive deltas
+            yield from osd.io_block(
+                IOKind.READ, block, ext.start, ext.size,
+                IOPriority.BACKGROUND, tag="fl-recycle",
+            )
+            old = (
+                osd.store.read(block, ext.start, ext.size)
+                if block in osd.store
+                else np.zeros(ext.size, dtype=np.uint8)
+            )
+            yield self.env.timeout(self.costs.xor(ext.size))
+            delta = old ^ ext.data
+            yield from osd.io_block(
+                IOKind.WRITE, block, ext.start, ext.size,
+                IOPriority.BACKGROUND, overwrite=True, tag="fl-recycle",
+            )
+            osd.store.write(block, ext.start, ext.data)
+            for j, posd, pbid in self.parity_targets(block):
+                if posd.failed:
+                    # this parity row misses the delta: resynced when the
+                    # node restarts, or re-encoded by its rebuild
+                    self._mark_parity_resync(pbid)
+                    continue
+                yield self.env.timeout(self.costs.gf_mul(ext.size))
+                pdelta = parity_delta(self.parity_coef(j, block.idx), delta)
+                try:
+                    yield from self.forward(osd, posd, ext.size)
+                    yield from self.parity_rmw(
+                        posd, pbid, ext.start, pdelta,
                         IOPriority.BACKGROUND, tag="fl-recycle",
                     )
-                    old = (
-                        osd.store.read(block, ext.start, ext.size)
-                        if block in osd.store
-                        else np.zeros(ext.size, dtype=np.uint8)
-                    )
-                    yield self.env.timeout(self.costs.xor(ext.size))
-                    delta = old ^ ext.data
-                    yield from osd.io_block(
-                        IOKind.WRITE, block, ext.start, ext.size,
-                        IOPriority.BACKGROUND, overwrite=True, tag="fl-recycle",
-                    )
-                    osd.store.write(block, ext.start, ext.data)
-                    for j, posd, pbid in self.parity_targets(block):
-                        yield self.env.timeout(self.costs.gf_mul(ext.size))
-                        pdelta = parity_delta(self.parity_coef(j, block.idx), delta)
-                        yield from self.forward(osd, posd, ext.size)
-                        yield from self.parity_rmw(
-                            posd, pbid, ext.start, pdelta,
-                            IOPriority.BACKGROUND, tag="fl-recycle",
-                        )
-            self._log_bytes[osd.name] = 0
+                except IntegrityError:
+                    # died between the liveness check and the write
+                    self._mark_parity_resync(pbid)
 
     def log_debt_bytes(self, osd: OSD) -> int:
         return self._log_bytes.get(osd.name, 0)
 
     def on_node_failed(self, victim: OSD) -> None:
-        # the victim's data-log entries survive in the parity-side mirrors in
-        # a real deployment; this compact model drops them (FL is not part of
-        # the paper's recovery evaluation)
+        # the victim's unmerged log entries survive in the parity-side
+        # mirrors: stash them for replay onto the rebuilt blocks so no
+        # acked update is lost
         for block in list(self._datalog):
             if self.ecfs.osd_hosting(block).name == victim.name:
-                del self._datalog[block]
+                emap = self._datalog.pop(block)
+                self._stash[block] = list(emap.extents())
         self._log_bytes[victim.name] = 0
+
+    def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
+        """Merge the victim's mirrored log entries onto a rebuilt block and
+        bring the parity blocks up to date with the resulting deltas."""
+        # do NOT pop yet: a mid-replay failure sends the rebuild worker back
+        # for a retry, and the retry must find the stash intact (re-applying
+        # onto a freshly decoded block is idempotent: old == new, delta 0)
+        exts = self._stash.get(block)
+        if not exts:
+            yield self.env.timeout(0)
+            return
+        yield from self._read_mirror(block, sum(e.size for e in exts), "fl-replay")
+        for ext in exts:
+            old = rebuilt[ext.start : ext.end].copy()
+            yield self.env.timeout(self.costs.xor(ext.size))
+            rebuilt[ext.start : ext.end] = ext.data
+            delta = old ^ ext.data
+            for j, posd, pbid in self.parity_targets(block):
+                if posd.failed:
+                    # re-encoded by its own rebuild, or resynced on restart
+                    self._mark_parity_resync(pbid)
+                    continue
+                yield self.env.timeout(self.costs.gf_mul(ext.size))
+                pdelta = parity_delta(self.parity_coef(j, block.idx), delta)
+                try:
+                    yield from self.forward(target, posd, ext.size)
+                    yield from self.parity_rmw(
+                        posd, pbid, ext.start, pdelta,
+                        IOPriority.BACKGROUND, tag="fl-replay", frozen_ok=True,
+                    )
+                except IntegrityError:
+                    self._mark_parity_resync(pbid)  # died mid-apply
+        self._stash.pop(block, None)
+
+    def degraded_overlay(
+        self, block: BlockId, offset: int, size: int, buf: np.ndarray
+    ) -> Generator:
+        """Degraded reads consult the parity-side mirror of the dead node's
+        log so acked-but-unmerged bytes are never served stale."""
+        exts = self._stash.get(block)
+        if not exts:
+            yield self.env.timeout(0)
+            return buf
+        yield from self._read_mirror(block, size, "fl-degraded")
+        end = offset + size
+        for ext in exts:
+            s, e = max(ext.start, offset), min(ext.end, end)
+            if s < e:
+                buf[s - offset : e - offset] = ext.data[s - ext.start : e - ext.start]
+        return buf
+
+    def _read_mirror(self, block: BlockId, size: int, tag: str) -> Generator:
+        """Charge one mirror-log read at a surviving parity OSD."""
+        for _j, posd, _pbid in self.parity_targets(block):
+            if not posd.failed:
+                yield from posd.io_at(
+                    IOKind.READ,
+                    addr=hash((block, "fl")) & 0xFFFFFFFF,
+                    size=max(1, size),
+                    stream="fulllog-mirror-read",
+                    tag=tag,
+                )
+                return
+        yield self.env.timeout(0)
 
     def recovery_prepare(self, osd: OSD) -> Generator:
         mine = [

@@ -12,6 +12,7 @@ from typing import Generator
 
 from repro.cluster.client import UpdateOp
 from repro.cluster.osd import OSD
+from repro.common.errors import IntegrityError
 from repro.ec.incremental import parity_delta
 from repro.update.base import UpdateMethod
 
@@ -40,4 +41,10 @@ class FullOverwrite(UpdateMethod):
         yield self.env.timeout(self.costs.gf_mul(op.size))
         pdelta = parity_delta(self.parity_coef(j, op.block.idx), delta)
         yield from self.forward(osd, posd, op.size)
-        yield from self.parity_rmw(posd, pbid, op.offset, pdelta)
+        try:
+            yield from self.parity_rmw(posd, pbid, op.offset, pdelta)
+        except IntegrityError:
+            # the parity node died with the data already committed in
+            # place: the stripe resyncs once the node restarts or rebuilds
+            self._mark_parity_resync(pbid)
+            raise

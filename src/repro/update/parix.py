@@ -87,19 +87,46 @@ class PARIX(UpdateMethod):
                     if op.block in osd.store
                     else np.zeros(op.size, dtype=np.uint8)
                 )
-                self._mark_seen(op.block, op.offset, op.size)
-                for _j, posd, pbid in targets:
-                    log = self._logs.setdefault((pbid, op.block.idx), _PairLog())
-                    log.log_old(op.offset, live)
-                    self._log_bytes[posd.name] += op.size
             # speculative in-place write of the new data (no read needed)
             yield from osd.io_block(
                 IOKind.WRITE, op.block, op.offset, op.size, overwrite=True
             )
+            # --- single synchronous commit: the store write, the oracle,
+            # and ALL pair-log mutations happen with no yield in between.
+            # A concurrent recycle popping a pair log must never split one
+            # update's old/new across two log generations — the orphaned
+            # half would silently lose the update's parity delta.
+            if live is None and self._unseen_ranges(op.block, op.offset, op.size):
+                # a recycle popped the pair log (clearing the D0 marks)
+                # while our write was in flight: the fresh log generation
+                # needs baselines after all, and the pre-write bytes are
+                # still in the store right now
+                live = (
+                    osd.store.read(op.block, op.offset, op.size)
+                    if op.block in osd.store
+                    else np.zeros(op.size, dtype=np.uint8)
+                )
             osd.store.write(op.block, op.offset, op.payload)
             self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+            if live is not None and not any(
+                posd.failed for _j, posd, _p in targets
+            ):
+                # mark D0 captured only when EVERY parity target got it;
+                # with a target down, the next update re-captures and
+                # re-ships (log_old is first-wins, and the recovered
+                # target's fresh baseline is exactly its re-encoded
+                # parity's view of the data)
+                self._mark_seen(op.block, op.offset, op.size)
             for _j, posd, pbid in targets:
+                if posd.failed:
+                    # this parity row misses the update: resynced when the
+                    # node restarts, or re-encoded by its rebuild
+                    self._mark_parity_resync(pbid)
+                    continue
                 log = self._logs.setdefault((pbid, op.block.idx), _PairLog())
+                if live is not None:
+                    log.log_old(op.offset, live)
+                    self._log_bytes[posd.name] += op.size
                 log.log_new(op.offset, op.payload)
                 self._log_bytes[posd.name] += op.size
 
@@ -107,9 +134,10 @@ class PARIX(UpdateMethod):
         # node probes its speculation log to decide whether it already holds
         # D0.  When it does not, it NACKs and the old data follows — the
         # serial "2x network latency" penalty of Fig. 1.
+        live_targets = [(j, posd) for j, posd, _pbid in targets if not posd.failed]
         sends = [
             self.env.process(self._ship(osd, posd, op.size), name=f"parix-new-p{j}")
-            for j, posd, _pbid in targets
+            for j, posd in live_targets
         ]
         yield self.env.all_of(sends)
         if live is not None:
@@ -118,12 +146,12 @@ class PARIX(UpdateMethod):
                 self.env.process(
                     self.forward(posd, osd, 0), name=f"parix-nack-p{j}"
                 )
-                for j, posd, _pbid in targets
+                for j, posd in live_targets
             ]
             yield self.env.all_of(nacks)
             sends = [
                 self.env.process(self._ship(osd, posd, op.size), name=f"parix-old-p{j}")
-                for j, posd, _pbid in targets
+                for j, posd in live_targets
             ]
             yield self.env.all_of(sends)
 
@@ -163,6 +191,8 @@ class PARIX(UpdateMethod):
             per_osd[self.ecfs.osd_hosting(key[0]).name].append(key)
         jobs = []
         for osd in self.ecfs.osds:
+            if osd.failed:
+                continue  # dropped at failure; re-encoded by the rebuild
             keys = per_osd.get(osd.name)
             if keys:
                 jobs.append(
@@ -184,35 +214,62 @@ class PARIX(UpdateMethod):
             if log is None:
                 continue
             pbid, didx = key
-            j = pbid.idx - self.ecfs.rs.k
-            # read the raw (unmerged) log back from disk: one read per entry
-            for _ in range(log.raw_entries):
-                yield from posd.io_at(
-                    IOKind.READ,
-                    addr=hash((pbid, didx)) & 0xFFFFFFFF,
-                    size=max(1, log.raw_bytes // max(1, log.raw_entries)),
-                    stream="parixlog-read",
-                    priority=priority,
-                    tag="parix-recycle",
-                )
-            for ext in log.new.extents():
-                old = log.old.read_range(ext.start, ext.size)
-                if old is None:
-                    raise RuntimeError(
-                        "PARIX invariant violated: updated byte missing D0"
-                    )
-                yield self.env.timeout(self.costs.gf_mul(ext.size))
-                pdelta = parity_delta(self.parity_coef(j, didx), ext.data ^ old)
-                yield from self.parity_rmw(
-                    posd, pbid, ext.start, pdelta, priority, tag="parix-recycle"
-                )
-            # the recycled pair log loses its D0 baselines: the data OSD must
-            # ship fresh baselines on the next update of that data block
+            # drop the D0-seen marker atomically with the pop: an update
+            # arriving while this recycle is mid-flight must re-capture D0
+            # into the fresh pair log, or its delta would be computed
+            # against a baseline the parity never had
             self._seen.pop(BlockId(pbid.file_id, pbid.stripe, didx), None)
+            stripes = {(pbid.file_id, pbid.stripe)}
+            self._stripes_busy_begin(stripes)
+            try:
+                yield from self._apply_pair_log(posd, pbid, didx, log, priority)
+            except IntegrityError:
+                # the node died mid-recycle with the pair log already
+                # popped: the row resyncs on restart / its rebuild
+                self._mark_parity_resync(pbid)
+            finally:
+                self._stripes_busy_end(stripes)
         self._log_bytes[posd.name] = 0
+
+    def _apply_pair_log(
+        self, posd: OSD, pbid: BlockId, didx: int, log: _PairLog, priority: int
+    ) -> Generator:
+        j = pbid.idx - self.ecfs.rs.k
+        # read the raw (unmerged) log back from disk: one read per entry
+        for _ in range(log.raw_entries):
+            yield from posd.io_at(
+                IOKind.READ,
+                addr=hash((pbid, didx)) & 0xFFFFFFFF,
+                size=max(1, log.raw_bytes // max(1, log.raw_entries)),
+                stream="parixlog-read",
+                priority=priority,
+                tag="parix-recycle",
+            )
+        for ext in log.new.extents():
+            old = log.old.read_range(ext.start, ext.size)
+            if old is None:
+                raise RuntimeError(
+                    "PARIX invariant violated: updated byte missing D0"
+                )
+            yield self.env.timeout(self.costs.gf_mul(ext.size))
+            pdelta = parity_delta(self.parity_coef(j, didx), ext.data ^ old)
+            yield from self.parity_rmw(
+                posd, pbid, ext.start, pdelta, priority, tag="parix-recycle"
+            )
+        # the recycled pair log loses its D0 baselines: the data OSD must
+        # ship fresh baselines on the next update of that data block
 
     def log_debt_bytes(self, osd: OSD) -> int:
         return self._log_bytes.get(osd.name, 0)
+
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Speculation-logged pairs describe in-place data the parity blocks
+        have not absorbed yet."""
+        out = set(self._busy_stripes)
+        for (pbid, _didx), log in self._logs.items():
+            if log.raw_entries:
+                out.add((pbid.file_id, pbid.stripe))
+        return out
 
     def on_node_failed(self, victim: OSD) -> None:
         """The victim's speculation logs die with its parity blocks; data

@@ -17,6 +17,7 @@ import numpy as np
 from repro.cluster.client import UpdateOp
 from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
+from repro.common.errors import IntegrityError
 from repro.ec.incremental import parity_delta
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
@@ -51,8 +52,14 @@ class ParityLogging(UpdateMethod):
         yield self.env.timeout(self.costs.gf_mul(op.size))
         pdelta = parity_delta(self.parity_coef(j, op.block.idx), delta)
         yield from self.forward(osd, posd, op.size)
-        # sequential append into the node-wide parity log
-        yield from posd.io_log_append("paritylog", op.size, tag="pl-append")
+        try:
+            # sequential append into the node-wide parity log
+            yield from posd.io_log_append("paritylog", op.size, tag="pl-append")
+        except IntegrityError:
+            # the parity node died with the data already committed in
+            # place: the stripe resyncs once the node restarts or rebuilds
+            self._mark_parity_resync(pbid)
+            raise
         self._logs[posd.name].append((pbid, op.offset, pdelta))
         self._log_bytes[posd.name] += op.size
 
@@ -61,7 +68,7 @@ class ParityLogging(UpdateMethod):
         jobs = [
             self.env.process(self._recycle_node(osd), name=f"pl-flush-{osd.name}")
             for osd in self.ecfs.osds
-            if self._logs.get(osd.name)
+            if not osd.failed and self._logs.get(osd.name)
         ]
         if jobs:
             yield self.env.all_of(jobs)
@@ -74,23 +81,41 @@ class ParityLogging(UpdateMethod):
         self._log_bytes[posd.name] = 0
         if not entries:
             return
-        # PL's recycle is random-read-heavy: the log is read back and every
-        # entry is applied individually (no locality merging).
-        for pbid, offset, pdelta in entries:
-            yield from posd.io_at(
-                IOKind.READ,
-                addr=(hash((pbid, offset)) & 0xFFFFFFFF),
-                size=int(pdelta.shape[0]),
-                stream="paritylog-read",
-                priority=priority,
-                tag="pl-recycle",
-            )
-            yield from self.parity_rmw(
-                posd, pbid, offset, pdelta, priority, tag="pl-recycle"
-            )
+        stripes = {(pbid.file_id, pbid.stripe) for pbid, _o, _d in entries}
+        self._stripes_busy_begin(stripes)
+        try:
+            # PL's recycle is random-read-heavy: the log is read back and
+            # every entry is applied individually (no locality merging).
+            for pbid, offset, pdelta in entries:
+                try:
+                    yield from posd.io_at(
+                        IOKind.READ,
+                        addr=(hash((pbid, offset)) & 0xFFFFFFFF),
+                        size=int(pdelta.shape[0]),
+                        stream="paritylog-read",
+                        priority=priority,
+                        tag="pl-recycle",
+                    )
+                    yield from self.parity_rmw(
+                        posd, pbid, offset, pdelta, priority, tag="pl-recycle"
+                    )
+                except IntegrityError:
+                    # the node died mid-recycle with the entries already
+                    # popped: the row resyncs on restart / its rebuild
+                    self._mark_parity_resync(pbid)
+        finally:
+            self._stripes_busy_end(stripes)
 
     def log_debt_bytes(self, osd: OSD) -> int:
         return self._log_bytes.get(osd.name, 0)
+
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Logged parity deltas correspond to data already updated in place."""
+        out = set(self._busy_stripes)
+        for entries in self._logs.values():
+            for pbid, _offset, _pdelta in entries:
+                out.add((pbid.file_id, pbid.stripe))
+        return out
 
     def on_node_failed(self, victim: OSD) -> None:
         """The victim's parity log dies with its parity blocks; the data

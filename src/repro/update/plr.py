@@ -23,6 +23,7 @@ import numpy as np
 from repro.cluster.client import UpdateOp
 from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
+from repro.common.errors import IntegrityError
 from repro.ec.incremental import parity_delta
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
@@ -58,19 +59,27 @@ class ParityLoggingReserved(UpdateMethod):
         yield self.env.timeout(self.costs.gf_mul(op.size))
         pdelta = parity_delta(self.parity_coef(j, op.block.idx), delta)
         yield from self.forward(osd, posd, op.size)
-        if self._used[pbid] + op.size > self.reserved_size:
-            # reserved area full: inline recycle, charged to this update
-            yield from self._recycle_block(posd, pbid, IOPriority.FOREGROUND)
-        # append lands adjacent to *this* parity block — a per-block stream,
-        # so interleaved appends to different blocks are random on the device
-        addr = posd.block_addr(pbid) + posd.block_size + self._used[pbid]
-        # reserved space is preallocated next to the parity block, so every
-        # append rewrites live device space — the paper counts these in the
-        # write penalty (PLR's OVERWRITE count exceeds FO's in Table 1)
-        yield from posd.io_at(
-            IOKind.WRITE, addr, op.size, stream="plr-reserved",
-            overwrite=True, tag="plr-append",
-        )
+        try:
+            if self._used[pbid] + op.size > self.reserved_size:
+                # reserved area full: inline recycle, charged to this update
+                yield from self._recycle_block(posd, pbid, IOPriority.FOREGROUND)
+            # append lands adjacent to *this* parity block — a per-block
+            # stream, so interleaved appends to different blocks are random
+            # on the device
+            addr = posd.block_addr(pbid) + posd.block_size + self._used[pbid]
+            # reserved space is preallocated next to the parity block, so
+            # every append rewrites live device space — the paper counts
+            # these in the write penalty (PLR's OVERWRITE count exceeds
+            # FO's in Table 1)
+            yield from posd.io_at(
+                IOKind.WRITE, addr, op.size, stream="plr-reserved",
+                overwrite=True, tag="plr-append",
+            )
+        except IntegrityError:
+            # the parity node died with the data already committed in
+            # place: the stripe resyncs once the node restarts or rebuilds
+            self._mark_parity_resync(pbid)
+            raise
         self._pending[pbid].append((op.offset, pdelta))
         self._used[pbid] += op.size
 
@@ -80,33 +89,44 @@ class ParityLoggingReserved(UpdateMethod):
         One sequential read covers parity block + adjacent reserved area
         (PLR's advantage over PL), then one overwrite of the parity block.
         """
+        # reconstruction may hold the stripe frozen (capture -> re-home)
+        yield from self.ecfs.wait_stripe_thaw(pbid.file_id, pbid.stripe)
         entries = self._pending.pop(pbid, [])
         used = self._used.pop(pbid, 0)
         if not entries:
             return
-        base = posd.block_addr(pbid)
-        yield from posd.io_at(
-            IOKind.READ,
-            base,
-            posd.block_size + used,
-            stream="plr-recycle",
-            priority=priority,
-            tag="plr-recycle",
-        )
-        total = sum(int(d.shape[0]) for _o, d in entries)
-        yield self.env.timeout(self.costs.xor(total))
-        for offset, pdelta in entries:
-            posd.store.ensure(pbid)
-            posd.store.xor_in(pbid, offset, pdelta)
-        yield from posd.io_at(
-            IOKind.WRITE,
-            base,
-            posd.block_size,
-            stream="plr-recycle",
-            priority=priority,
-            overwrite=True,
-            tag="plr-recycle",
-        )
+        stripes = {(pbid.file_id, pbid.stripe)}
+        self._stripes_busy_begin(stripes)
+        try:
+            base = posd.block_addr(pbid)
+            yield from posd.io_at(
+                IOKind.READ,
+                base,
+                posd.block_size + used,
+                stream="plr-recycle",
+                priority=priority,
+                tag="plr-recycle",
+            )
+            total = sum(int(d.shape[0]) for _o, d in entries)
+            yield self.env.timeout(self.costs.xor(total))
+            for offset, pdelta in entries:
+                posd.store.ensure(pbid)
+                posd.store.xor_in(pbid, offset, pdelta)
+            yield from posd.io_at(
+                IOKind.WRITE,
+                base,
+                posd.block_size,
+                stream="plr-recycle",
+                priority=priority,
+                overwrite=True,
+                tag="plr-recycle",
+            )
+        except IntegrityError:
+            # the node died mid-recycle with the reserved-area entries
+            # already popped: the row resyncs on restart / its rebuild
+            self._mark_parity_resync(pbid)
+        finally:
+            self._stripes_busy_end(stripes)
 
     # ------------------------------------------------------------- drain
     def flush(self) -> Generator:
@@ -137,6 +157,14 @@ class ParityLoggingReserved(UpdateMethod):
             for pbid, used in self._used.items()
             if self.ecfs.osd_hosting(pbid).name == osd.name
         )
+
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Reserved-space deltas correspond to data already in place."""
+        out = set(self._busy_stripes)
+        for pbid, entries in self._pending.items():
+            if entries:
+                out.add((pbid.file_id, pbid.stripe))
+        return out
 
     def on_node_failed(self, victim: OSD) -> None:
         # reserved-space deltas are colocated with their parity block and

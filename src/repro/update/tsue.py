@@ -128,13 +128,22 @@ class TSUE(UpdateMethod):
         # residence/append timing per layer (Table 2), seconds
         self.append_times: dict[str, list[float]] = {l: [] for l in _LAYERS}
         self.replica_log_bytes: dict[str, int] = defaultdict(int)
-        self._recycler_procs: list = []
+        self._recycler_procs: dict[tuple[str, str, int], object] = {}
         # recovery stash: the victim's unrecycled DataLog extents (replayed
-        # onto rebuilt blocks from the replica logs) and DeltaLog extents
-        # (replayed to surviving ParityLogs from the 2nd-parity replica)
+        # onto rebuilt blocks from the replica logs) and DeltaLog-derived
+        # parity deltas (replayed to surviving ParityLogs from the
+        # 2nd-parity replica): (dedup token, parity block, offset, pdelta)
         self._stash_data: dict[BlockId, list] = {}
-        self._stash_delta: list[tuple[BlockId, int, np.ndarray]] = []
+        self._stash_delta: list[tuple[tuple, BlockId, int, np.ndarray]] = []
         self._stash_bytes = 0
+        # parity deltas addressed to a transiently-down node, replayed when
+        # it restarts (a rebuild clears them: re-encoding subsumes deltas)
+        self._pending_parity: dict[str, list] = defaultdict(list)
+        # receiver-side replay dedup (the model's stand-in for the sequence
+        # numbers a replicated log ships): tokens of deltas already accepted
+        # at each node, so an interrupted recycle can replay blindly.
+        # Unbounded here; a real log GCs below the recycle watermark.
+        self._seen_tokens: dict[str, set] = defaultdict(set)
 
     # ------------------------------------------------------------ lifecycle
     def attach(self, osd: OSD) -> None:
@@ -167,19 +176,22 @@ class TSUE(UpdateMethod):
         self.pools[osd.name] = layers
 
     def start_background(self) -> None:
+        for osd in self.ecfs.osds:
+            for layer in _LAYERS:
+                for p, pool in enumerate(self.pools[osd.name][layer]):
+                    self._spawn_recycler(osd, layer, p, pool)
+
+    def _spawn_recycler(self, osd: OSD, layer: str, pidx: int, pool: LogPool) -> None:
         recycler_of = {
             "datalog": self._recycle_datalog_unit,
             "deltalog": self._recycle_deltalog_unit,
             "paritylog": self._recycle_paritylog_unit,
         }
-        for osd in self.ecfs.osds:
-            for layer in _LAYERS:
-                for p, pool in enumerate(self.pools[osd.name][layer]):
-                    proc = self.env.process(
-                        self._recycler_loop(osd, pool, p, recycler_of[layer]),
-                        name=f"tsue-{layer}-{osd.name}-{p}",
-                    )
-                    self._recycler_procs.append(proc)
+        proc = self.env.process(
+            self._recycler_loop(osd, pool, pidx, recycler_of[layer]),
+            name=f"tsue-{layer}-{osd.name}-{pidx}",
+        )
+        self._recycler_procs[(osd.name, layer, pidx)] = proc
 
     # ------------------------------------------------------------ front end
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
@@ -259,18 +271,25 @@ class TSUE(UpdateMethod):
         lanes = list(self.planner.lanes(items))
         procs = [
             self.env.process(
-                self._datalog_lane(osd, lane), name=f"tsue-dlane-{osd.name}"
+                self._datalog_lane(osd, pool, unit, lane),
+                name=f"tsue-dlane-{osd.name}",
             )
             for lane in lanes
         ]
         if procs:
             yield self.env.all_of(procs)
 
-    def _datalog_lane(self, osd: OSD, lane_items) -> Generator:
+    def _datalog_lane(self, osd: OSD, pool: LogPool, unit: LogUnit, lane_items) -> Generator:
         for work in lane_items:
             block = self._real_block(work.block)
             for ext in work.extents:
-                # read old data, compute delta, overwrite the data block
+                key = ("dl", work.block, ext.start, ext.size)
+                if key in unit.recycle_progress:
+                    continue  # replay of an interrupted recycle
+                # reconstruction may hold the stripe frozen: applying this
+                # extent would emit a parity delta racing the re-home
+                yield from self.ecfs.wait_stripe_thaw(block.file_id, block.stripe)
+                # read old data and compute the delta
                 yield from osd.io_block(
                     IOKind.READ, block, ext.start, ext.size,
                     IOPriority.BACKGROUND, tag="tsue-dl-recycle",
@@ -282,29 +301,35 @@ class TSUE(UpdateMethod):
                 )
                 yield self.env.timeout(self.costs.xor(ext.size))
                 delta = old ^ ext.data
+                # forward the delta BEFORE the in-place overwrite: should the
+                # node die in between, a replay recomputes the same delta
+                # from the unchanged block and the receivers dedup by token
+                token = (pool.name, unit.unit_id, unit.generation) + key
+                yield from self._forward_delta(osd, block, ext.start, delta, token)
                 yield from osd.io_block(
                     IOKind.WRITE, block, ext.start, ext.size,
                     IOPriority.BACKGROUND, overwrite=True, tag="tsue-dl-recycle",
                 )
                 osd.store.write(block, ext.start, ext.data)
-                yield from self._forward_delta(osd, block, ext.start, delta)
+                unit.recycle_progress.add(key)
 
     def _forward_delta(
-        self, osd: OSD, block: BlockId, offset: int, delta: np.ndarray
+        self,
+        osd: OSD,
+        block: BlockId,
+        offset: int,
+        delta: np.ndarray,
+        token: tuple | None = None,
     ) -> Generator:
         """Ship a data delta towards parity: via DeltaLog (O5) or directly.
 
         Falls back to direct parity fan-out when the DeltaLog home (first
-        parity OSD) is down.
+        parity OSD) is down — including when it dies mid-forward.  ``token``
+        (when given) lets the receivers drop a duplicate delivery during the
+        replay of an interrupted recycle.
         """
         size = int(delta.shape[0])
         rs = self.ecfs.rs
-        p1_alive = (
-            rs.m >= 1
-            and not self.ecfs.osd_hosting(
-                BlockId(block.file_id, block.stripe, rs.k)
-            ).failed
-        )
         wire_size = size
         if self.opts.compress_deltas:
             # compression happens off the critical path (the delta sits in
@@ -313,45 +338,84 @@ class TSUE(UpdateMethod):
                 self.costs.op_fixed + size * self.opts.compress_cost_per_byte
             )
             wire_size = max(1, int(size * self.opts.compression_ratio))
-        if self.opts.use_deltalog and p1_alive:
-            t0 = self.env.now
+        if self.opts.use_deltalog and rs.m >= 1:
             p1 = self.ecfs.osd_hosting(BlockId(block.file_id, block.stripe, rs.k))
+            if not p1.failed:
+                try:
+                    yield from self._deltalog_forward(
+                        osd, p1, block, offset, delta, wire_size, token
+                    )
+                    return
+                except IntegrityError:
+                    pass  # p1 died mid-forward; fall through to direct fan-out
+        # no DeltaLog (or its home is down): compute each parity delta here,
+        # fan out to ParityLogs (more network, more GF work at the data node)
+        for j, posd, pbid in self.parity_targets(block):
+            yield self.env.timeout(self.costs.gf_mul(size))
+            pdelta = gf_mul_scalar(self.parity_coef(j, block.idx), delta)
+            ptoken = token + ("p", j) if token is not None else None
+            if not posd.failed:
+                yield from self.forward(osd, posd, wire_size)
+            yield from self._paritylog_append(posd, pbid, offset, pdelta, ptoken)
+
+    def _deltalog_forward(
+        self,
+        osd: OSD,
+        p1: OSD,
+        block: BlockId,
+        offset: int,
+        delta: np.ndarray,
+        wire_size: int,
+        token: tuple | None,
+    ) -> Generator:
+        """Land a data delta in the DeltaLog at ``p1`` (+ replica at p2)."""
+        t0 = self.env.now
+        size = int(delta.shape[0])
+        rs = self.ecfs.rs
+        if token is not None:
+            # claim at entry (see _paritylog_append): concurrent replays of
+            # one delta must not both pass the check before either commits
+            if token in self._seen_tokens[p1.name]:
+                return  # duplicate delivery from a replayed recycle
+            self._seen_tokens[p1.name].add(token)
+        try:
             yield from self.forward(osd, p1, wire_size)
-            dpool = self._pool(p1, "deltalog", block)
-            yield from dpool.append(block, offset, delta)
+            # device append first, then the in-memory index: a crash in
+            # between leaves nothing behind, so the caller's fallback cannot
+            # double-apply
             yield from p1.io_log_append(
                 f"deltalog{self._pool_idx(block)}",
                 size,
                 IOPriority.BACKGROUND,
                 tag="tsue-deltalog",
             )
-            self.append_times["deltalog"].append(self.env.now - t0)
-            if self.opts.replicate_deltalog and rs.m >= 2:
-                p2 = self.ecfs.osd_hosting(
-                    BlockId(block.file_id, block.stripe, rs.k + 1)
-                )
-                if not p2.failed:
-                    yield from self.forward(osd, p2, wire_size)
+            dpool = self._pool(p1, "deltalog", block)
+            yield from dpool.append(block, offset, delta)
+        except IntegrityError:
+            if token is not None:
+                self._seen_tokens[p1.name].discard(token)  # nothing committed
+            raise
+        self.append_times["deltalog"].append(self.env.now - t0)
+        if self.opts.replicate_deltalog and rs.m >= 2:
+            p2 = self.ecfs.osd_hosting(
+                BlockId(block.file_id, block.stripe, rs.k + 1)
+            )
+            if not p2.failed:
+                yield from self.forward(osd, p2, wire_size)
+                try:
                     yield from p2.io_log_append(
                         "deltalog-rep", size, IOPriority.BACKGROUND,
                         tag="tsue-deltalog-rep",
                     )
                     self.replica_log_bytes[p2.name] += size
-        else:
-            # no DeltaLog: compute each parity delta here, fan out to
-            # ParityLogs (more network, more GF work at the data node)
-            for j, posd, pbid in self.parity_targets(block):
-                if posd.failed:
-                    continue  # its parity block is being re-encoded anyway
-                yield self.env.timeout(self.costs.gf_mul(size))
-                pdelta = gf_mul_scalar(self.parity_coef(j, block.idx), delta)
-                yield from self.forward(osd, posd, wire_size)
-                yield from self._paritylog_append(posd, pbid, offset, pdelta)
+                except IntegrityError:
+                    pass  # replica copy lost with p2; the primary log stands
 
     # -- stage 2: DeltaLog ----------------------------------------------------
-    def _recycle_deltalog_unit(
-        self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
-    ) -> Generator:
+    def _plan_delta_forwards(self, unit: LogUnit) -> list[tuple[tuple, BlockId, object]]:
+        """Deterministic (dedup key, parity block, extent) list the recycle
+        of ``unit`` forwards — recomputable after a crash so an interrupted
+        recycle and the recovery stash agree on identities."""
         items = self.planner.plan(unit)
         # group per stripe for Eq. (5) cross-block merging
         per_stripe: dict[tuple[int, int], list] = defaultdict(list)
@@ -359,46 +423,96 @@ class TSUE(UpdateMethod):
             block = self._real_block(work.block)
             per_stripe[(block.file_id, block.stripe)].append((block, work))
         rs = self.ecfs.rs
+        out: list[tuple[tuple, BlockId, object]] = []
+        occurrences: dict[tuple, int] = defaultdict(int)
         for (file_id, stripe), works in per_stripe.items():
             for j in range(rs.m):
                 pbid = BlockId(file_id, stripe, rs.k + j)
-                posd = self.ecfs.osd_hosting(pbid)
-                if posd.failed:
-                    continue  # re-encoded rebuild subsumes these deltas
                 if self.opts.backend_locality:
                     merged = ExtentMap(MergePolicy.XOR)
                     for block, work in works:
                         coef = self.parity_coef(j, block.idx)
                         for ext in work.extents:
-                            yield self.env.timeout(self.costs.gf_mul(ext.size))
                             merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
-                    out = list(merged.extents())
+                    exts = list(merged.extents())
                 else:
-                    out = []
+                    exts = []
                     for block, work in works:
                         coef = self.parity_coef(j, block.idx)
                         for ext in work.extents:
-                            yield self.env.timeout(self.costs.gf_mul(ext.size))
-                            out.append(
+                            exts.append(
                                 type(ext)(ext.start, gf_mul_scalar(coef, ext.data))
                             )
-                for ext in out:
-                    yield from self.forward(osd, posd, ext.size)
-                    yield from self._paritylog_append(posd, pbid, ext.start, ext.data)
+                for ext in exts:
+                    base = (pbid, ext.start, ext.size)
+                    n = occurrences[base]
+                    occurrences[base] += 1
+                    out.append((("dx",) + base + (n,), pbid, ext))
+        return out
+
+    def _recycle_deltalog_unit(
+        self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
+    ) -> Generator:
+        # Charge the Eq. (5) GF work as the seed model did: one multiply per
+        # SOURCE extent per parity row (the planning helper computes the
+        # merged extents untimed so a crash-replay can recompute them).
+        rs = self.ecfs.rs
+        gf_cost = sum(
+            rs.m * self.costs.gf_mul(ext.size)
+            for bkey in unit.index.blocks()
+            for ext in unit.index.extents(bkey)
+        )
+        if gf_cost:
+            yield self.env.timeout(gf_cost)
+        for key, pbid, ext in self._plan_delta_forwards(unit):
+            if key in unit.recycle_progress:
+                continue  # replay of an interrupted recycle
+            yield from self.ecfs.wait_stripe_thaw(pbid.file_id, pbid.stripe)
+            posd = self.ecfs.osd_hosting(pbid)
+            token = (pool.name, unit.unit_id, unit.generation) + key
+            if not posd.failed:
+                yield from self.forward(osd, posd, ext.size)
+            yield from self._paritylog_append(posd, pbid, ext.start, ext.data, token)
+            unit.recycle_progress.add(key)
 
     def _paritylog_append(
-        self, posd: OSD, pbid: BlockId, offset: int, pdelta: np.ndarray
+        self,
+        posd: OSD,
+        pbid: BlockId,
+        offset: int,
+        pdelta: np.ndarray,
+        token: tuple | None = None,
     ) -> Generator:
+        if token is not None:
+            # claim at entry: two concurrent replays of one delta (e.g. two
+            # overlapping recoveries draining the same stash) would both
+            # pass a commit-time check before either commits
+            if token in self._seen_tokens[posd.name]:
+                return  # duplicate delivery from a replayed recycle
+            self._seen_tokens[posd.name].add(token)
         t0 = self.env.now
         ppool = self._pool(posd, "paritylog", pbid)
-        yield from ppool.append(pbid, offset, pdelta)
-        yield from posd.io_log_append(
-            f"paritylog{self._pool_idx(pbid)}",
-            int(pdelta.shape[0]),
-            IOPriority.BACKGROUND,
-            tag="tsue-paritylog",
-        )
-        self.append_times["paritylog"].append(self.env.now - t0)
+        if not posd.failed:
+            try:
+                # device append first, then the in-memory index: a crash in
+                # between leaves nothing behind and the replay redelivers
+                yield from posd.io_log_append(
+                    f"paritylog{self._pool_idx(pbid)}",
+                    int(pdelta.shape[0]),
+                    IOPriority.BACKGROUND,
+                    tag="tsue-paritylog",
+                )
+                yield from ppool.append(pbid, offset, pdelta)
+                self.append_times["paritylog"].append(self.env.now - t0)
+                return
+            except IntegrityError:
+                pass  # the node died mid-append; fall through
+        if token is not None:
+            self._seen_tokens[posd.name].discard(token)  # nothing committed
+        if ppool.dead:
+            return  # real crash: the re-encoded rebuild subsumes this delta
+        # transiently down (bounce): buffer for replay at restart
+        self._pending_parity[posd.name].append((token, pbid, offset, pdelta))
 
     # -- stage 3: ParityLog ----------------------------------------------------
     def _recycle_paritylog_unit(
@@ -408,21 +522,26 @@ class TSUE(UpdateMethod):
         lanes = list(self.planner.lanes(items))
         procs = [
             self.env.process(
-                self._paritylog_lane(osd, lane), name=f"tsue-plane-{osd.name}"
+                self._paritylog_lane(osd, unit, lane),
+                name=f"tsue-plane-{osd.name}",
             )
             for lane in lanes
         ]
         if procs:
             yield self.env.all_of(procs)
 
-    def _paritylog_lane(self, osd: OSD, lane_items) -> Generator:
+    def _paritylog_lane(self, osd: OSD, unit: LogUnit, lane_items) -> Generator:
         for work in lane_items:
             pbid = self._real_block(work.block)
             for ext in work.extents:
+                key = ("pl", work.block, ext.start, ext.size)
+                if key in unit.recycle_progress:
+                    continue  # replay of an interrupted recycle
                 yield from self.parity_rmw(
                     osd, pbid, ext.start, ext.data,
                     IOPriority.BACKGROUND, tag="tsue-pl-recycle",
                 )
+                unit.recycle_progress.add(key)
 
     # --------------------------------------------------------------- drain
     def flush(self) -> Generator:
@@ -467,9 +586,12 @@ class TSUE(UpdateMethod):
 
         DataLog extents will be merged onto the rebuilt data blocks (§4.2:
         "the data log on this node can be obtained from one of the nodes
-        hosting its replica"); DeltaLog extents replay to surviving
-        ParityLogs from the 2nd-parity copy; ParityLog content is dropped —
-        the victim's parity blocks are re-encoded from up-to-date data.
+        hosting its replica"); DeltaLog-derived parity deltas replay to
+        surviving ParityLogs from the 2nd-parity copy; ParityLog content is
+        dropped — the victim's parity blocks are re-encoded from up-to-date
+        data.  A unit caught mid-recycle by an abrupt crash is stashed too:
+        its ``recycle_progress`` set and the receivers' dedup tokens make
+        the replay exactly-once.
         """
         def unrecycled(pool):
             # RECYCLED units retain their index only as a read cache: their
@@ -479,12 +601,17 @@ class TSUE(UpdateMethod):
                 if unit.used and unit.state in (
                     LogUnitState.EMPTY,
                     LogUnitState.RECYCLABLE,
+                    LogUnitState.RECYCLING,
                 ):
                     yield unit
 
         layers = self.pools[victim.name]
         for pool in layers["datalog"]:
             for unit in unrecycled(pool):
+                # ALL extents are stashed, including ones a mid-flight
+                # recycle already applied: degraded reads overlay them, and
+                # their replay self-cancels (the recomputed delta is zero
+                # because the rebuilt block already carries the new bytes)
                 for key in list(unit.index.blocks()):
                     block = self._real_block(key)
                     exts = list(unit.index.extents(key))
@@ -492,18 +619,63 @@ class TSUE(UpdateMethod):
                     self._stash_bytes += sum(e.size for e in exts)
         for pool in layers["deltalog"]:
             for unit in unrecycled(pool):
-                for key in list(unit.index.blocks()):
-                    block = self._real_block(key)
-                    for ext in unit.index.extents(key):
-                        self._stash_delta.append((block, ext.start, ext.data))
-                        self._stash_bytes += ext.size
-        # victim pools are dead: empty them so drains skip their backlog
+                for key, pbid, ext in self._plan_delta_forwards(unit):
+                    if key in unit.recycle_progress:
+                        continue  # forwarded durably before the crash
+                    token = (pool.name, unit.unit_id, unit.generation) + key
+                    self._stash_delta.append((token, pbid, ext.start, ext.data))
+                    self._stash_bytes += ext.size
+        # deltas buffered for the victim while it was transiently down are
+        # subsumed by the re-encoded rebuild, as are its accepted tokens
+        self._pending_parity.pop(victim.name, None)
+        self._seen_tokens.pop(victim.name, None)
+        # victim pools are dead: error out blocked appenders and empty the
+        # queues so drains skip their backlog
         for pools in layers.values():
             for pool in pools:
+                pool.fail()
                 pool.units.clear()
                 pool.units.append(pool._new_unit())
                 pool.active = pool.units[0]
                 pool.recyclable.items.clear()
+
+    def on_node_restarted(self, osd: OSD) -> None:
+        """Resume background work on a bounced node: requeue unit recycles
+        that were cut off mid-flight (their progress sets make the replay
+        idempotent), respawn recyclers that died with the node, and replay
+        parity deltas other nodes buffered while this one was down."""
+        for layer in _LAYERS:
+            for pidx, pool in enumerate(self.pools[osd.name][layer]):
+                proc = self._recycler_procs.get((osd.name, layer, pidx))
+                if proc is not None and proc.is_alive:
+                    continue  # survived the outage; its unit is still its own
+                for unit in pool.units:
+                    if unit.state is LogUnitState.RECYCLING:
+                        # direct reset (not a normal lifecycle transition):
+                        # the recycle replays from its progress marks.  The
+                        # requeue goes to the FRONT — units sealed during
+                        # the outage are newer, and OVERWRITE merging needs
+                        # oldest-first application.
+                        unit.state = LogUnitState.RECYCLABLE
+                        pool.recyclable.put_front(unit)
+                self._spawn_recycler(osd, layer, pidx, pool)
+        pending = self._pending_parity.pop(osd.name, [])
+        if pending:
+            # busy-mark synchronously with the pop: the deltas must never be
+            # invisible to stripe-settlement checks
+            stripes = {(pbid.file_id, pbid.stripe) for _t, pbid, _o, _d in pending}
+            self._stripes_busy_begin(stripes)
+            self.env.process(
+                self._replay_pending(osd, pending, stripes),
+                name=f"tsue-pending-{osd.name}",
+            )
+
+    def _replay_pending(self, osd: OSD, pending: list, stripes: set) -> Generator:
+        try:
+            for token, pbid, offset, pdelta in pending:
+                yield from self._paritylog_append(osd, pbid, offset, pdelta, token)
+        finally:
+            self._stripes_busy_end(stripes)
 
     def pre_rebuild(self) -> Generator:
         """Read stashed logs back from their replicas and replay the delta
@@ -515,14 +687,21 @@ class TSUE(UpdateMethod):
                 IOKind.READ, 0, self._stash_bytes, stream="datalog-rep-replay",
                 tag="tsue-replay",
             )
-        for block, offset, delta in self._stash_delta:
-            for j, posd, pbid in self.parity_targets(block):
+        # take ownership atomically: overlapping recoveries each replay only
+        # what was stashed when THEY got here (the dedup tokens additionally
+        # stop any racing double-delivery)
+        replay, self._stash_delta = self._stash_delta, []
+        stripes = {(pbid.file_id, pbid.stripe) for _t, pbid, _o, _d in replay}
+        self._stripes_busy_begin(stripes)
+        try:
+            for token, pbid, offset, pdelta in replay:
+                posd = self.ecfs.osd_hosting(pbid)
                 if posd.failed:
                     continue
-                yield self.env.timeout(self.costs.gf_mul(delta.shape[0]))
-                pdelta = gf_mul_scalar(self.parity_coef(j, block.idx), delta)
-                yield from self._paritylog_append(posd, pbid, offset, pdelta)
-        self._stash_delta.clear()
+                yield self.env.timeout(self.costs.gf_mul(pdelta.shape[0]))
+                yield from self._paritylog_append(posd, pbid, offset, pdelta, token)
+        finally:
+            self._stripes_busy_end(stripes)
         yield from self.flush()
 
     def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
@@ -578,6 +757,33 @@ class TSUE(UpdateMethod):
             if s < e:
                 buf[s - offset : e - offset] = ext.data[s - ext.start : e - ext.start]
         return buf
+
+    def _pending_unsettled(self) -> set[tuple[int, int]]:
+        """Stripes whose parity lags data: any DeltaLog/ParityLog content
+        (those deltas correspond to in-place data writes that already
+        happened) and any DataLog unit caught mid-recycle.  Unrecycled
+        DataLog records are NOT unsettled — their data is still only in the
+        log, so data and parity agree."""
+        out: set[tuple[int, int]] = set(self._busy_stripes)
+        for layers in self.pools.values():
+            for layer, pools in layers.items():
+                for pool in pools:
+                    for unit in pool.units:
+                        if not unit.used or unit.state is LogUnitState.RECYCLED:
+                            continue
+                        if layer == "datalog" and unit.state is not LogUnitState.RECYCLING:
+                            continue
+                        for key in unit.index.blocks():
+                            block = self._real_block(key)
+                            out.add((block.file_id, block.stripe))
+        # deltas parked for a bounced node or stashed for recovery replay
+        # are also applied-in-data, pending-on-parity
+        for entries in self._pending_parity.values():
+            for _token, pbid, _offset, _pdelta in entries:
+                out.add((pbid.file_id, pbid.stripe))
+        for _token, pbid, _offset, _pdelta in self._stash_delta:
+            out.add((pbid.file_id, pbid.stripe))
+        return out
 
     # ------------------------------------------------------------- metrics
     def log_debt_bytes(self, osd: OSD) -> int:
