@@ -64,7 +64,9 @@ class Client:
         )
         # reconstruction may hold the stripe frozen (capture -> re-home);
         # updates wait so their parity deltas cannot race the re-home
-        yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
+        # (cheap pre-check: avoids a waiter generator on the common path)
+        if ecfs.stripe_frozen(block.file_id, block.stripe):
+            yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
         primary = ecfs.osd_hosting(block)
         hdr = ecfs.config.header_bytes
         yield from ecfs.net.transfer(self.name, primary.name, size + hdr)

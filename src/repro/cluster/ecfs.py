@@ -14,10 +14,11 @@ from repro.cluster.mds import MDS
 from repro.cluster.osd import OSD
 from repro.cluster.verify import GroundTruth
 from repro.common.errors import ConfigError
+from repro.common.refcount import RefCounter
 from repro.ec.rs import RSCode
 from repro.metrics.collector import MetricsCollector
 from repro.net.fabric import NetParams, NetworkFabric
-from repro.sim import Environment
+from repro.sim import Environment, Event
 from repro.storage.hdd import HDDevice, HDDParams
 from repro.storage.ssd import SSDevice, SSDParams
 
@@ -79,56 +80,102 @@ class ECFS:
         self.clients: list[Client] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.known_blocks: set[BlockId] = set()
+        # event-based settlement waiters: per-stripe lists woken when a hold
+        # on that stripe releases, plus cluster-wide waiters woken on any
+        # settlement progress (unit recycled, node failed/restarted...).
+        # Waiters re-check their condition on wake, so spurious wakeups are
+        # safe; what matters is that every releasing transition notifies.
+        self._stripe_waiters: dict[tuple[int, int], list] = {}
+        self._settlement_waiters: list = []
         # in-flight update ops per stripe: reconstruction waits these out so
         # it never captures a half-applied data+parity state
-        self._inflight_stripe: dict[tuple[int, int], int] = {}
+        self._inflight_stripe = RefCounter(on_zero=self.notify_stripe)
         # stripes frozen by reconstruction (capture -> re-home window): new
         # updates and background delta application wait until the thaw, so
         # no delta can race the rebuilt block's placement switch
-        self._frozen_stripes: dict[tuple[int, int], int] = {}
+        self._frozen_stripes = RefCounter(on_zero=self.notify_stripe)
 
     # ------------------------------------------------------- stripe activity
     def freeze_stripe(self, file_id: int, stripe: int) -> None:
-        key = (file_id, stripe)
-        self._frozen_stripes[key] = self._frozen_stripes.get(key, 0) + 1
+        self._frozen_stripes.incr((file_id, stripe))
 
     def thaw_stripe(self, file_id: int, stripe: int) -> None:
-        key = (file_id, stripe)
-        left = self._frozen_stripes.get(key, 0) - 1
-        if left > 0:
-            self._frozen_stripes[key] = left
-        else:
-            self._frozen_stripes.pop(key, None)
+        self._frozen_stripes.decr((file_id, stripe))
 
     def stripe_frozen(self, file_id: int, stripe: int) -> bool:
         return (file_id, stripe) in self._frozen_stripes
 
     def inflight_updates(self, file_id: int, stripe: int) -> int:
         """Client updates currently executing against the stripe."""
-        return self._inflight_stripe.get((file_id, stripe), 0)
+        return self._inflight_stripe.count((file_id, stripe))
 
     def wait_stripe_thaw(self, file_id: int, stripe: int):
-        """Process fragment: yield until the stripe is not frozen."""
-        while self.stripe_frozen(file_id, stripe):
-            yield self.env.timeout(1e-4)
+        """Process fragment: yield until the stripe is not frozen.
+
+        Event-based: the waiter sleeps until the thaw that drops the freeze
+        count to zero wakes it (FIFO among waiters) — it is never polled
+        awake early and never sleeps past the release.
+        """
+        while (file_id, stripe) in self._frozen_stripes:
+            yield self.stripe_released(file_id, stripe)
+
+    def stripe_released(self, file_id: int, stripe: int):
+        """One-shot event fired at the next settlement-relevant release
+        touching the stripe (thaw, last in-flight update, busy-mark drop,
+        or any cluster-wide settlement progress).  Callers loop: wake,
+        re-check their predicate, re-arm if still blocked."""
+        waiter = Event(self.env)
+        self._stripe_waiters.setdefault((file_id, stripe), []).append(waiter)
+        return waiter
+
+    def settlement_event(self):
+        """One-shot event fired at the next cluster-wide settlement progress
+        (any stripe release, a log unit finishing its recycle, a node
+        failing or restarting).  Used by drain/quiesce loops."""
+        waiter = Event(self.env)
+        self._settlement_waiters.append(waiter)
+        return waiter
+
+    def notify_stripe(self, key: tuple[int, int]) -> None:
+        """Wake waiters parked on ``key`` (and cluster-wide waiters)."""
+        waiters = self._stripe_waiters.pop(key, None)
+        if waiters:
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+        if self._settlement_waiters:
+            self._notify_settlement_waiters()
+
+    def notify_settlement(self) -> None:
+        """Cluster-wide settlement progress: wake every parked waiter (they
+        re-check and re-arm).  Cheap when nobody waits — one truthiness
+        check per call."""
+        if self._settlement_waiters:
+            self._notify_settlement_waiters()
+        if self._stripe_waiters:
+            waiters_by_key, self._stripe_waiters = self._stripe_waiters, {}
+            for waiters in waiters_by_key.values():
+                for waiter in waiters:
+                    if not waiter.triggered:
+                        waiter.succeed()
+
+    def _notify_settlement_waiters(self) -> None:
+        waiters, self._settlement_waiters = self._settlement_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
 
     def note_update_begin(self, block: BlockId) -> None:
-        key = (block.file_id, block.stripe)
-        self._inflight_stripe[key] = self._inflight_stripe.get(key, 0) + 1
+        self._inflight_stripe.incr((block.file_id, block.stripe))
 
     def note_update_end(self, block: BlockId) -> None:
-        key = (block.file_id, block.stripe)
-        left = self._inflight_stripe.get(key, 0) - 1
-        if left > 0:
-            self._inflight_stripe[key] = left
-        else:
-            self._inflight_stripe.pop(key, None)
+        self._inflight_stripe.decr((block.file_id, block.stripe))
 
     def stripe_quiescent(self, file_id: int, stripe: int) -> bool:
         """True when the stripe has no in-flight update and no
         applied-to-data-but-pending-on-parity delta anywhere — i.e. its
         blocks form a consistent codeword right now."""
-        if self._inflight_stripe.get((file_id, stripe)):
+        if (file_id, stripe) in self._inflight_stripe:
             return False
         return (file_id, stripe) not in self.method.unsettled_stripes()
 
@@ -156,6 +203,9 @@ class ECFS:
         if not osd.failed:
             osd.fail()
             self.method.on_node_failed(osd)
+            # a death changes what can settle (its logs dropped/stashed):
+            # re-check parked settlement waiters
+            self.notify_settlement()
         return osd
 
     def restart_osd(self, idx: int) -> OSD:
@@ -168,6 +218,7 @@ class ECFS:
             self.mds.declare_recovered(idx)
             self.mds.heartbeat(idx, self.env.now)
             self.method.on_node_restarted(osd)
+            self.notify_settlement()
         return osd
 
     # ------------------------------------------------------------ placement
@@ -202,17 +253,25 @@ class ECFS:
                         for _ in range(k)
                     ]
                     parity = self.rs.encode(data)
+                    for i, content in enumerate(data + parity):
+                        bid = BlockId(meta.file_id, s, i)
+                        osd = self.osd_hosting(bid)
+                        # fresh per-block arrays: hand ownership to the
+                        # store instead of copying block_size bytes each
+                        osd.store.create(bid, content, own=True)
+                        self.known_blocks.add(bid)
+                        if i < k:
+                            self.oracle.apply(bid, 0, content)
+                            self.oracle.applied_updates -= 1
                 else:
-                    data = [np.zeros(bs, dtype=np.uint8) for _ in range(k)]
-                    parity = [np.zeros(bs, dtype=np.uint8) for _ in range(m)]
-                for i, content in enumerate(data + parity):
-                    bid = BlockId(meta.file_id, s, i)
-                    osd = self.osd_hosting(bid)
-                    osd.store.create(bid, content)
-                    self.known_blocks.add(bid)
-                    if i < k:
-                        self.oracle.apply(bid, 0, content)
-                        self.oracle.applied_updates -= 1
+                    # zero fill: copy-on-write — no per-block allocation in
+                    # the store or the oracle until something writes
+                    for i in range(k + m):
+                        bid = BlockId(meta.file_id, s, i)
+                        self.osd_hosting(bid).store.create_zero(bid)
+                        self.known_blocks.add(bid)
+                        if i < k:
+                            self.oracle.touch(bid)
             self.mds.mark_written(meta.file_id, 0, meta.size)
         return file_ids
 

@@ -34,6 +34,10 @@ class Placement:
         self.k = k
         self.m = m
         self.log_pools = log_pools
+        # placement is a pure function of the block id, and the hot paths
+        # resolve the same few thousand blocks millions of times: memoize
+        self._osd_cache: dict[BlockId, int] = {}
+        self._pool_cache: dict[BlockId, int] = {}
 
     # ------------------------------------------------------------------ API
     def stripe_base(self, file_id: int, stripe: int) -> int:
@@ -42,9 +46,15 @@ class Placement:
 
     def osd_of(self, block: BlockId) -> int:
         """Node index hosting ``block``."""
-        if not 0 <= block.idx < self.k + self.m:
-            raise ValueError(f"block idx {block.idx} outside stripe width")
-        return (self.stripe_base(block.file_id, block.stripe) + block.idx) % self.n_osds
+        idx = self._osd_cache.get(block)
+        if idx is None:
+            if not 0 <= block.idx < self.k + self.m:
+                raise ValueError(f"block idx {block.idx} outside stripe width")
+            idx = (
+                self.stripe_base(block.file_id, block.stripe) + block.idx
+            ) % self.n_osds
+            self._osd_cache[block] = idx
+        return idx
 
     def stripe_osds(self, file_id: int, stripe: int) -> list[int]:
         base = self.stripe_base(file_id, stripe)
@@ -69,4 +79,8 @@ class Placement:
 
     def pool_of(self, block: BlockId) -> int:
         """Log pool index for a block — hash of (inode, stripe, block) §3.2.1."""
-        return _mix(block.file_id, block.stripe, block.idx) % self.log_pools
+        pool = self._pool_cache.get(block)
+        if pool is None:
+            pool = _mix(block.file_id, block.stripe, block.idx) % self.log_pools
+            self._pool_cache[block] = pool
+        return pool

@@ -175,9 +175,22 @@ class RecoveryManager:
                 yield env.process(
                     ecfs.method.resync_parity(), name=f"rec-resync-{block}"
                 )
-            # always advance the clock: a no-op flush returns in zero sim
-            # time and polling must not starve the in-flight settlement
-            yield env.timeout(1e-4)
+                if (
+                    stripe_key in ecfs.method.unsettled_stripes()
+                    and not ecfs.inflight_updates(*stripe_key)
+                    and not ecfs.stripe_frozen(*stripe_key)
+                ):
+                    # the forced pass could not settle this stripe (e.g. the
+                    # resync skipped it behind still-draining deltas): fall
+                    # back to a bounded poll so the in-flight settlement can
+                    # advance — the degenerate case the seed polled for
+                    yield env.timeout(1e-4)
+                continue
+            # blocked on activity that signals its own completion (in-flight
+            # update, freeze, mid-application log content): sleep until the
+            # releasing transition wakes us — quiescence wakes exactly when
+            # the last hold releases, not at the next 1e-4 poll tick
+            yield ecfs.stripe_released(*stripe_key)
         ecfs.freeze_stripe(block.file_id, block.stripe)
         try:
             # Capture every source at ONE simulated instant (the fetches

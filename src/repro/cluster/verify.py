@@ -34,18 +34,31 @@ class GroundTruth:
         self.block_size = block_size
         self._blocks: dict[BlockId, np.ndarray] = {}
         self.applied_updates = 0
+        # copy-on-write zero template (bulk zero-fill populate registers
+        # hundreds of blocks; most never see an update)
+        self._zero = np.zeros(block_size, dtype=np.uint8)
+        self._zero.flags.writeable = False
+
+    def touch(self, block: BlockId) -> None:
+        """Register a known-zero block without allocating (CoW template)."""
+        self._blocks.setdefault(block, self._zero)
 
     def ensure(self, block: BlockId) -> np.ndarray:
         arr = self._blocks.get(block)
         if arr is None:
-            arr = self._blocks[block] = np.zeros(self.block_size, dtype=np.uint8)
+            arr = self._blocks[block] = self._zero
         return arr
 
     def apply(self, block: BlockId, offset: int, data: np.ndarray) -> None:
         data = np.asarray(data, dtype=np.uint8)
         if offset < 0 or offset + data.shape[0] > self.block_size:
             raise IntegrityError("oracle write outside block")
-        self.ensure(block)[offset : offset + data.shape[0]] = data
+        target = self._blocks.get(block)
+        if target is None or not target.flags.writeable:
+            # CoW promotion on the first real write
+            target = self._zero.copy() if target is None else target.copy()
+            self._blocks[block] = target
+        target[offset : offset + data.shape[0]] = data
         self.applied_updates += 1
 
     def expected(self, block: BlockId) -> np.ndarray:

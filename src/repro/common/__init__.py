@@ -6,6 +6,7 @@ from repro.common.errors import (
     IntegrityError,
     ReproError,
 )
+from repro.common.refcount import RefCounter
 from repro.common.units import (
     GB,
     GiB,
@@ -22,6 +23,7 @@ __all__ = [
     "ConfigError",
     "DecodeError",
     "IntegrityError",
+    "RefCounter",
     "ReproError",
     "KB",
     "MB",

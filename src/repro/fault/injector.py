@@ -72,7 +72,7 @@ class FaultInjector:
         env = self.ecfs.env
         if trigger.at is not None:
             if trigger.at > env.now:
-                yield env.timeout(trigger.at - env.now)
+                yield env.timeout_at(trigger.at)
         else:
             while not trigger.when(self.ecfs):
                 if trigger.deadline is not None and env.now >= trigger.deadline:

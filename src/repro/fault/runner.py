@@ -97,6 +97,12 @@ class ScenarioResult:
     scrub_reports: list
     detected: list[tuple[int, float]]  # heartbeat failure detections
     readmitted: list[tuple[int, float]]  # heartbeat recovery detections
+    #: host-side performance (wall seconds, DES events, events/sec) —
+    #: excluded from the canonical digest, which must not depend on the
+    #: machine the scenario ran on
+    wall_seconds: float = 0.0
+    events: int = 0
+    events_per_sec: float = 0.0
 
     def summary(self) -> str:
         lines = [
@@ -131,6 +137,9 @@ class ScenarioRunner:
         self.spec = spec
 
     def run(self, seed: int = 2025) -> ScenarioResult:
+        import time as _time
+
+        wall0 = _time.perf_counter()
         spec = self.spec
         ecfs = ECFS(
             spec.cluster_config(seed),
@@ -175,6 +184,7 @@ class ScenarioRunner:
             check(ecfs, injector)
         stripes = ecfs.verify()
 
+        wall = _time.perf_counter() - wall0
         return ScenarioResult(
             name=spec.name,
             seed=seed,
@@ -190,4 +200,7 @@ class ScenarioRunner:
             scrub_reports=list(injector.scrub_reports),
             detected=list(heartbeat.detected) if heartbeat else [],
             readmitted=list(heartbeat.recovered) if heartbeat else [],
+            wall_seconds=wall,
+            events=ecfs.env.steps,
+            events_per_sec=ecfs.env.steps / wall if wall > 0 else 0.0,
         )

@@ -8,6 +8,13 @@ Usage::
     python -m repro all --scale quick
     python -m repro scenario --list      # fault-injection scenario catalog
     python -m repro scenario crash-mid-update --seed 7
+
+    # parallel sweeps over method x trace (or scenario x seed) grids, fanned
+    # across a process pool with a content-addressed result cache:
+    python -m repro sweep --methods tsue,pl --traces tencloud,alicloud \
+        --workers 4 --cache-dir .repro-cache
+    python -m repro sweep --scenarios crash-mid-update,double-failure \
+        --seeds 7,8 --workers 2
 """
 
 from __future__ import annotations
@@ -56,17 +63,73 @@ def _run_scenario(args) -> int:
     return 0
 
 
+def _run_sweep(args) -> int:
+    # imported lazily so plain experiment runs stay light
+    from repro.harness.runner import ExperimentConfig
+    from repro.harness.sweep import SweepExecutor, run_grid
+    from repro.metrics.tables import format_table
+
+    executor = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir)
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    if args.scenarios:
+        names = [s for s in args.scenarios.split(",") if s]
+        results = executor.run_scenarios(names, seeds)
+        for res in results:
+            print(res.summary())
+            print()
+    else:
+        methods = [s for s in args.methods.split(",") if s]
+        traces = [s for s in args.traces.split(",") if s]
+        grid = run_grid(
+            [
+                (
+                    (f"{trace} seed{seed}", method.upper()),
+                    ExperimentConfig(
+                        method=method,
+                        trace=trace,
+                        n_clients=args.clients,
+                        n_ops=args.ops,
+                        seed=seed,
+                    ),
+                )
+                for trace in traces
+                for method in methods
+                for seed in seeds
+            ],
+            executor=executor,
+        )
+        rows = {
+            row: {col: res.iops for col, res in cols.items()}
+            for row, cols in grid.items()
+        }
+        print(
+            format_table(
+                rows,
+                title=f"sweep — aggregate update IOPS ({args.ops} ops)",
+                floatfmt="{:,.0f}",
+            )
+        )
+    stats = executor.stats
+    print(
+        f"[sweep: {stats.cells} cells, {stats.cache_hits} cached, "
+        f"{stats.workers} workers, {stats.wall_seconds:.1f}s]"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the TSUE paper's tables and figures on the "
-        "simulated cluster, or run a named fault-injection scenario.",
+        "simulated cluster, run a named fault-injection scenario, or fan a "
+        "sweep grid across a process pool.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario", "sweep"],
         help="artifact to regenerate ('all' runs everything, 'list' "
-        "enumerates, 'scenario' runs the fault-injection harness)",
+        "enumerates, 'scenario' runs the fault-injection harness, 'sweep' "
+        "runs a parallel scenario/experiment grid)",
     )
     parser.add_argument(
         "name",
@@ -91,10 +154,42 @@ def main(argv: list[str] | None = None) -> int:
         default=2025,
         help="with 'scenario': simulation seed (same seed = same digest)",
     )
+    sweep = parser.add_argument_group("sweep options")
+    sweep.add_argument(
+        "--methods", default="tsue", help="comma-separated update methods"
+    )
+    sweep.add_argument(
+        "--traces", default="tencloud", help="comma-separated trace names"
+    )
+    sweep.add_argument(
+        "--scenarios",
+        default="",
+        help="comma-separated fault scenarios (switches to a scenario x "
+        "seed grid)",
+    )
+    sweep.add_argument(
+        "--seeds", default="2025", help="comma-separated simulation seeds"
+    )
+    sweep.add_argument("--clients", type=int, default=16)
+    sweep.add_argument("--ops", type=int, default=1200)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: REPRO_WORKERS or 1 = serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (default: "
+        "REPRO_CACHE_DIR or disabled)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "scenario":
         return _run_scenario(args)
+    if args.experiment == "sweep":
+        return _run_sweep(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

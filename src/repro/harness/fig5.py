@@ -10,19 +10,20 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.harness.runner import ExperimentConfig, current_scale, run_experiment
+from repro.harness.sweep import run_grid
 from repro.metrics.tables import format_table
 
-__all__ = ["METHODS", "RS_CODES", "run", "run_cell"]
+__all__ = ["METHODS", "RS_CODES", "run", "run_cell", "cell_config"]
 
 METHODS = ("fo", "pl", "plr", "parix", "cord", "tsue")
 RS_CODES = ((6, 2), (12, 2), (6, 3), (12, 3), (6, 4), (12, 4))
 
 
-def run_cell(
+def cell_config(
     method: str, trace: str, k: int, m: int, n_clients: int, n_ops: int, seed: int = 2025
-) -> float:
-    """One bar of one subplot: aggregate update IOPS."""
-    cfg = ExperimentConfig(
+) -> ExperimentConfig:
+    """Config of one bar of one subplot."""
+    return ExperimentConfig(
         method=method,
         trace=trace,
         k=k,
@@ -31,7 +32,13 @@ def run_cell(
         n_ops=n_ops,
         seed=seed,
     )
-    return run_experiment(cfg).iops
+
+
+def run_cell(
+    method: str, trace: str, k: int, m: int, n_clients: int, n_ops: int, seed: int = 2025
+) -> float:
+    """One bar of one subplot: aggregate update IOPS."""
+    return run_experiment(cell_config(method, trace, k, m, n_clients, n_ops, seed)).iops
 
 
 def run(
@@ -48,15 +55,24 @@ def run(
         client_counts = (64,) if scale == "quick" else (4, 16, 64)
     n_ops = 1200 if scale == "quick" else 6000
 
-    data: dict[str, dict[str, float]] = {}
-    for trace in traces:
-        for k, m in rs_codes:
-            for nc in client_counts:
-                row_label = f"{trace} RS({k},{m}) c{nc}"
-                row: dict[str, float] = {}
-                for method in methods:
-                    row[method.upper()] = run_cell(method, trace, k, m, nc, n_ops)
-                data[row_label] = row
+    # independent cells: fanned through the sweep executor (serial and
+    # uncached unless REPRO_WORKERS / REPRO_CACHE_DIR say otherwise)
+    grid = run_grid(
+        [
+            (
+                (f"{trace} RS({k},{m}) c{nc}", method.upper()),
+                cell_config(method, trace, k, m, nc, n_ops),
+            )
+            for trace in traces
+            for k, m in rs_codes
+            for nc in client_counts
+            for method in methods
+        ]
+    )
+    data = {
+        row: {col: res.iops for col, res in cols.items()}
+        for row, cols in grid.items()
+    }
     text = format_table(
         data,
         title="Fig.5 — aggregate update IOPS (SSD cluster)",

@@ -9,6 +9,7 @@
 from __future__ import annotations
 
 from repro.harness.runner import ExperimentConfig, current_scale, run_experiment
+from repro.harness.sweep import run_cells
 from repro.metrics.tables import format_series, format_table
 
 __all__ = ["run_fig6a", "run_fig6b"]
@@ -67,10 +68,9 @@ def run_fig6b(scale: str | None = None) -> tuple[str, dict]:
     # long enough that every quota reaches backend steady state (otherwise
     # a large quota just absorbs the whole finite run in buffers)
     n_ops = 6000 if scale == "quick" else 20000
-    rows: dict[str, dict[str, float]] = {}
-    for q in quotas:
+    cfgs = [
         # same pressure configuration as fig6a so the quota is binding
-        cfg = ExperimentConfig(
+        ExperimentConfig(
             method="tsue",
             trace="tencloud",
             k=6,
@@ -81,7 +81,11 @@ def run_fig6b(scale: str | None = None) -> tuple[str, dict]:
             log_pools=1,
             log_max_units=q,
         )
-        res = run_experiment(cfg)
+        for q in quotas
+    ]
+    results = run_cells(cfgs)
+    rows: dict[str, dict[str, float]] = {}
+    for q, cfg, res in zip(quotas, cfgs, results):
         peak = res.extra.get("peak_memory_bytes", 0)
         rows[f"{q} units"] = {
             "IOPS": res.iops,

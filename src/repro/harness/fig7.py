@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Iterable
 
-from repro.harness.runner import ExperimentConfig, current_scale, run_experiment
+from repro.harness.runner import ExperimentConfig, current_scale
+from repro.harness.sweep import run_grid
 from repro.metrics.tables import format_table
 from repro.update.tsue import TSUEOptions
 
@@ -34,23 +35,29 @@ def run(
         ms = (4,)
     n_ops = 1200 if scale == "quick" else 6000
     ladder = TSUEOptions.breakdown()
-    rows: dict[str, dict[str, float]] = {}
-    for trace in traces:
-        for m in ms:
-            label = f"{trace} RS(6,{m})"
-            row: dict[str, float] = {}
-            for step, opts in ladder.items():
-                cfg = ExperimentConfig(
+    grid = run_grid(
+        [
+            (
+                (f"{trace} RS(6,{m})", step),
+                ExperimentConfig(
                     method="tsue",
                     trace=trace,
                     k=6,
                     m=m,
-                    n_clients=64,  # saturated, as in the paper's peak config
+                    n_clients=64,  # saturated, as in the paper's peak
                     n_ops=n_ops,
                     method_options={"options": opts},
-                )
-                row[step] = run_experiment(cfg).iops
-            rows[label] = row
+                ),
+            )
+            for trace in traces
+            for m in ms
+            for step, opts in ladder.items()
+        ]
+    )
+    rows = {
+        label: {step: res.iops for step, res in cols.items()}
+        for label, cols in grid.items()
+    }
     text = format_table(
         rows,
         title="Fig.7 — TSUE optimization breakdown (aggregate update IOPS)",

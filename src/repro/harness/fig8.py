@@ -12,6 +12,7 @@ from typing import Iterable
 
 from repro.cluster.recovery import RecoveryManager
 from repro.harness.runner import ExperimentConfig, current_scale, run_experiment
+from repro.harness.sweep import run_grid
 from repro.metrics.tables import format_table
 from repro.update.tsue import TSUEOptions
 
@@ -53,13 +54,17 @@ def run_fig8a(
     if volumes is None:
         volumes = ("src10", "hm0") if scale == "quick" else VOLUMES
     n_ops = 600 if scale == "quick" else 3000
-    rows: dict[str, dict[str, float]] = {}
-    for volume in volumes:
-        row: dict[str, float] = {}
-        for method in methods:
-            res = run_experiment(_config(method, volume, n_ops))
-            row[method.upper()] = res.iops
-        rows[volume] = row
+    grid = run_grid(
+        [
+            ((volume, method.upper()), _config(method, volume, n_ops))
+            for volume in volumes
+            for method in methods
+        ]
+    )
+    rows = {
+        volume: {method: res.iops for method, res in cols.items()}
+        for volume, cols in grid.items()
+    }
     text = format_table(
         rows, title="Fig.8a — HDD update throughput (IOPS)", floatfmt="{:,.0f}"
     )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -105,10 +106,16 @@ class ExperimentResult:
     memory_bytes: int
     extra: dict[str, Any] = field(default_factory=dict)
     ecfs: Optional[ECFS] = None
+    #: host-side performance of the run (wall seconds, simulated seconds,
+    #: DES events, events/sec).  Excluded from the canonical digest — two
+    #: identical simulations on different hardware agree on everything
+    #: except this dict.
+    perf: dict[str, float] = field(default_factory=dict)
 
 
 def run_experiment(cfg: ExperimentConfig, keep_cluster: bool = False) -> ExperimentResult:
     """Build, populate, replay, (optionally) drain+verify, measure."""
+    wall0 = time.perf_counter()
     ecfs = ECFS(
         cfg.cluster_config(),
         method=cfg.method,
@@ -134,6 +141,8 @@ def run_experiment(cfg: ExperimentConfig, keep_cluster: bool = False) -> Experim
         ecfs.drain()
         ecfs.verify()
     workload = aggregate_workload(ecfs.osds, ecfs.net)
+    wall = time.perf_counter() - wall0
+    events = ecfs.env.steps
     result = ExperimentResult(
         config=cfg,
         iops=replay.iops,
@@ -143,6 +152,12 @@ def run_experiment(cfg: ExperimentConfig, keep_cluster: bool = False) -> Experim
         elapsed_sim=replay.elapsed,
         memory_bytes=ecfs.method_memory(),
         ecfs=ecfs if keep_cluster else None,
+        perf={
+            "wall_seconds": wall,
+            "sim_seconds": ecfs.env.now,
+            "events": float(events),
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        },
     )
     if hasattr(ecfs.method, "stall_stats"):
         result.extra["stalls"] = ecfs.method.stall_stats()

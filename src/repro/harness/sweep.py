@@ -1,0 +1,230 @@
+"""Parallel sweep executor with a content-addressed result cache.
+
+Every cell of a paper figure/table is an independent, deterministic
+simulation — a pure function of its :class:`ExperimentConfig` (or scenario
+name + seed).  :class:`SweepExecutor` exploits both properties:
+
+* **parallelism** — independent cells fan out across a process pool
+  (``workers`` > 1); a single-worker executor runs them serially in
+  process, byte-identical to calling :func:`run_experiment` in a loop;
+* **content-addressed caching** — a cell's result is stored under the
+  SHA-256 of its canonical config serialization, so re-running a sweep
+  (or sharing cells between figures) pays only for cells never seen.
+
+Cache invalidation: the key hashes the *config*, not the code.  Any change
+to the engine or cluster model that alters results must bump
+:data:`CACHE_SCHEMA` (or the operator clears the cache directory).  The
+cache is opt-in — no ``cache_dir`` (and no ``REPRO_CACHE_DIR``) means
+every cell runs.
+
+Environment knobs: ``REPRO_WORKERS`` (default worker count),
+``REPRO_CACHE_DIR`` (default cache directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.fault.digest import canonical as _canonical
+from repro.harness.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fault.runner import ScenarioResult
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "SweepStats",
+    "SweepExecutor",
+    "config_key",
+    "scenario_key",
+    "run_cells",
+    "run_grid",
+]
+
+#: bump when a code change alters simulation results (engine semantics,
+#: cost model, trace generation) — cached cells from older schemas are
+#: then unreachable and simply re-run
+CACHE_SCHEMA = 1
+
+
+def config_key(cfg: ExperimentConfig) -> str:
+    """Content address of one experiment cell."""
+    payload = {f.name: getattr(cfg, f.name) for f in fields(cfg)}
+    payload["__schema__"] = CACHE_SCHEMA
+    payload["__kind__"] = "experiment"
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def scenario_key(name: str, seed: int) -> str:
+    """Content address of one fault-scenario cell."""
+    payload = {
+        "__schema__": CACHE_SCHEMA,
+        "__kind__": "scenario",
+        "name": name,
+        "seed": int(seed),
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------- workers
+# Module-level so they pickle into pool workers.
+
+def _experiment_cell(cfg: ExperimentConfig) -> ExperimentResult:
+    return run_experiment(cfg)  # keep_cluster=False: results must pickle
+
+
+def _scenario_cell(args: tuple[str, int]) -> "ScenarioResult":
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import get_scenario
+
+    name, seed = args
+    return ScenarioRunner(get_scenario(name)).run(seed=seed)
+
+
+@dataclass
+class SweepStats:
+    """Accounting for the executor's last sweep."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+
+class SweepExecutor:
+    """Fan independent sweep cells across a process pool, with caching."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache_dir = cache_dir
+        self.stats = SweepStats(workers=workers)
+
+    # ------------------------------------------------------------- running
+    def run(self, cfgs: Sequence[ExperimentConfig]) -> list[ExperimentResult]:
+        """Run every config; results are in input order.
+
+        Parallel and serial execution produce equal results: each cell is a
+        deterministic single-process simulation either way (asserted by the
+        test suite).
+        """
+        return self._run([config_key(c) for c in cfgs], list(cfgs), _experiment_cell)
+
+    def run_scenarios(
+        self, names: Iterable[str], seeds: Iterable[int]
+    ) -> list["ScenarioResult"]:
+        """Run the scenario × seed grid (row-major: all seeds per name)."""
+        names = list(names)
+        seeds = [int(s) for s in seeds]  # materialize: one-shot iterators
+        cells = [(name, seed) for name in names for seed in seeds]
+        keys = [scenario_key(name, seed) for name, seed in cells]
+        return self._run(keys, cells, _scenario_cell)
+
+    def _run(self, keys: list[str], cells: list, worker) -> list:
+        t0 = time.perf_counter()
+        self.stats = SweepStats(workers=self.workers)
+        self.stats.cells = len(cells)
+        results: list = [None] * len(cells)
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            hit = self._cache_load(key)
+            if hit is not None:
+                results[i] = hit
+                self.stats.cache_hits += 1
+            else:
+                misses.append(i)
+
+        if misses:
+            if self.workers > 1 and len(misses) > 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    for i, res in zip(
+                        misses, pool.map(worker, [cells[i] for i in misses])
+                    ):
+                        results[i] = res
+            else:
+                for i in misses:
+                    results[i] = worker(cells[i])
+            for i in misses:
+                self._cache_store(keys[i], results[i])
+
+        self.stats.wall_seconds = time.perf_counter() - t0
+        return results
+
+    # ------------------------------------------------------------- caching
+    def _cache_path(self, key: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _cache_load(self, key: str):
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return None  # corrupt/partial entry: treat as a miss
+
+    def _cache_store(self, key: str, result) -> None:
+        path = self._cache_path(key)
+        if path is None or result is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers can't tear
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def run_cells(
+    cfgs: Sequence[ExperimentConfig],
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> list[ExperimentResult]:
+    """One-shot helper for figure/table harnesses: run the cells through a
+    :class:`SweepExecutor` (workers/cache from the environment unless
+    overridden — serial and uncached by default)."""
+    return SweepExecutor(workers=workers, cache_dir=cache_dir).run(cfgs)
+
+
+def run_grid(
+    cells: Sequence[tuple[tuple[str, str], ExperimentConfig]],
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> dict[str, dict[str, ExperimentResult]]:
+    """Run ``((row, col), config)`` cells and assemble the results as
+    ``grid[row][col]`` — the shape every figure harness tabulates.  Keeps
+    label/result pairing in one place so cell ordering can never
+    desynchronize from the assembled table.  Pass ``executor`` to reuse a
+    caller-owned one (its ``stats`` then reflect this run)."""
+    if executor is None:
+        executor = SweepExecutor(workers=workers, cache_dir=cache_dir)
+    results = executor.run([cfg for _label, cfg in cells])
+    grid: dict[str, dict[str, ExperimentResult]] = {}
+    for ((row, col), _cfg), res in zip(cells, results):
+        grid.setdefault(row, {})[col] = res
+    return grid

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.harness.runner import ExperimentConfig, current_scale, run_experiment
+from repro.harness.runner import ExperimentConfig, current_scale
+from repro.harness.sweep import run_cells
 from repro.metrics.lifespan import lifespan_ratios
 from repro.metrics.tables import format_table
 
@@ -23,13 +24,18 @@ def run(
 ) -> tuple[str, dict]:
     scale = scale or current_scale()
     n_ops = 1500 if scale == "quick" else 8000
+    methods = list(methods)
+    results = run_cells(
+        [
+            ExperimentConfig(
+                method=method, trace="tencloud", k=6, m=4, n_clients=16, n_ops=n_ops
+            )
+            for method in methods
+        ]
+    )
     data: dict[str, dict[str, float]] = {}
     erases: dict[str, float] = {}
-    for method in methods:
-        cfg = ExperimentConfig(
-            method=method, trace="tencloud", k=6, m=4, n_clients=16, n_ops=n_ops
-        )
-        res = run_experiment(cfg)
+    for method, res in zip(methods, results):
         row = res.workload.row()
         row["ERASES"] = res.workload.total_erases
         data[method.upper()] = row

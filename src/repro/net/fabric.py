@@ -16,7 +16,7 @@ from typing import Generator, Iterable
 import numpy as np
 
 from repro.common.units import Gbps
-from repro.sim import Environment, Event, Resource
+from repro.sim import Environment, Event, Resource, Timeout
 
 __all__ = ["NetParams", "LinkFault", "NIC", "NetworkFabric"]
 
@@ -174,40 +174,48 @@ class NetworkFabric:
         dst_nic = self._nic(dst)
 
         # A cut link delivers nothing: wait for the partition to heal.
-        while not self.reachable(src, dst):
-            waiter = self.env.event()
-            self._heal_waiters.append(waiter)
-            yield waiter
+        if self._groups:
+            while not self.reachable(src, dst):
+                waiter = self.env.event()
+                self._heal_waiters.append(waiter)
+                yield waiter
 
-        src_fault = self._faults.get(src)
-        dst_fault = self._faults.get(dst)
-        bw_factor = min(
-            src_fault.bw_factor if src_fault else 1.0,
-            dst_fault.bw_factor if dst_fault else 1.0,
-        )
-        extra_latency = (src_fault.extra_latency if src_fault else 0.0) + (
-            dst_fault.extra_latency if dst_fault else 0.0
-        )
-        loss = 1.0 - (1.0 - (src_fault.loss_prob if src_fault else 0.0)) * (
-            1.0 - (dst_fault.loss_prob if dst_fault else 0.0)
-        )
-        wire_time = nbytes / (p.bandwidth * bw_factor)
+        if self._faults:
+            src_fault = self._faults.get(src)
+            dst_fault = self._faults.get(dst)
+            bw_factor = min(
+                src_fault.bw_factor if src_fault else 1.0,
+                dst_fault.bw_factor if dst_fault else 1.0,
+            )
+            extra_latency = (src_fault.extra_latency if src_fault else 0.0) + (
+                dst_fault.extra_latency if dst_fault else 0.0
+            )
+            loss = 1.0 - (1.0 - (src_fault.loss_prob if src_fault else 0.0)) * (
+                1.0 - (dst_fault.loss_prob if dst_fault else 0.0)
+            )
+            wire_time = nbytes / (p.bandwidth * bw_factor)
+            # Lossy links retransmit after a timeout (deterministic RNG
+            # stream).
+            while loss > 0 and self._loss_rng.random() < loss:
+                self.dropped_msgs += 1
+                yield self.env.timeout(self.RETRANSMIT_TIMEOUT)
+        else:
+            # fault-free fast path (the overwhelmingly common case): no
+            # fault-dict probes, no loss draw
+            extra_latency = 0.0
+            wire_time = nbytes / p.bandwidth
 
-        # Lossy links retransmit after a timeout (deterministic RNG stream).
-        while loss > 0 and self._loss_rng.random() < loss:
-            self.dropped_msgs += 1
-            yield self.env.timeout(self.RETRANSMIT_TIMEOUT)
-
+        env = self.env
         with src_nic.tx.request() as tx:
             yield tx
-            yield self.env.timeout(p.per_message_overhead + wire_time)
+            yield Timeout(env, p.per_message_overhead + wire_time)
         # Propagation through the fabric.
-        yield self.env.timeout(p.latency + extra_latency)
+        yield Timeout(env, p.latency + extra_latency)
         # Receiver-side occupancy: the RX port is busy for the wire time too
         # (it cannot accept two full-rate flows at once).
         with dst_nic.rx.request() as rx:
             yield rx
-            yield self.env.timeout(wire_time)
+            yield Timeout(env, wire_time)
 
         src_nic.tx_bytes += nbytes
         src_nic.tx_msgs += 1

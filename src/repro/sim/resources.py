@@ -3,18 +3,29 @@
 These model contended hardware: a storage device is a ``Resource`` with
 capacity equal to its internal parallelism; a mailbox between actors is a
 ``Store``.  Requests are events, so processes simply ``yield res.request()``.
+
+Hot-path notes
+--------------
+An *uncontended* grant (free capacity, empty queue) finishes the request
+event immediately at creation — the requester's ``yield`` then resumes
+inline via the engine's already-processed fast path, with no heap
+round-trip.  Contended grants still go through the heap (FIFO / priority
+order is what the queue exists for).  ``release`` no longer constructs a
+confirmation event (the seed's ``Release``): nothing in the tree ever
+waited on one, and at ~25% of all scheduled events in a profiled TSUE run
+they were pure event-loop ballast.  Likewise ``Store.put``/``Store.get``
+finish immediately when the queue has room/items.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
 from typing import Any, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import _PENDING, _PROCESSED, Environment, Event
 
-__all__ = ["Request", "Release", "Resource", "PriorityResource", "Store"]
+__all__ = ["Request", "Resource", "PriorityResource", "Store"]
 
 
 class Request(Event):
@@ -30,11 +41,27 @@ class Request(Event):
     __slots__ = ("resource", "priority", "key")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.env)
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
         self.resource = resource
         self.priority = priority
-        self.key = (priority, next(resource._tiebreak))
-        resource._do_request(self)
+        users = resource.users
+        if len(users) < resource.capacity and not resource.queue:
+            # Uncontended: grant inline — the requester's `yield` resumes
+            # without a heap round-trip.
+            users.append(self)
+            self._state = _PROCESSED
+        else:
+            self._state = _PENDING
+            tie = resource._tiebreak
+            resource._tiebreak = tie + 1
+            self.key = (priority, tie)
+            heapq.heappush(resource.queue, (self.key, self))
 
     def __enter__(self) -> "Request":
         return self
@@ -47,16 +74,6 @@ class Request(Event):
         self.resource._cancel(self)
 
 
-class Release(Event):
-    """Immediate event confirming a release (for symmetry with SimPy)."""
-
-    __slots__ = ()
-
-    def __init__(self, env: Environment) -> None:
-        super().__init__(env)
-        self.succeed()
-
-
 class Resource:
     """FIFO resource with integer capacity."""
 
@@ -67,7 +84,7 @@ class Resource:
         self.capacity = capacity
         self.users: list[Request] = []
         self.queue: list[tuple[tuple[int, int], Request]] = []
-        self._tiebreak = itertools.count()
+        self._tiebreak = 0
 
     @property
     def count(self) -> int:
@@ -81,20 +98,14 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         return Request(self, priority)
 
-    def _do_request(self, req: Request) -> None:
-        if len(self.users) < self.capacity and not self.queue:
-            self.users.append(req)
-            req.succeed()
-        else:
-            heapq.heappush(self.queue, (req.key, req))
-
-    def release(self, req: Request) -> Release:
-        if req in self.users:
+    def release(self, req: Request) -> None:
+        try:
             self.users.remove(req)
-            self._grant_next()
-        else:
+        except ValueError:
             self._cancel(req)
-        return Release(self.env)
+            return
+        if self.queue:
+            self._grant_next()
 
     def _cancel(self, req: Request) -> None:
         for i, (_k, queued) in enumerate(self.queue):
@@ -140,7 +151,9 @@ class Store:
     """Unbounded-or-bounded FIFO queue of Python objects.
 
     ``put`` blocks only when a finite ``capacity`` is set and reached;
-    ``get`` blocks until an item is available.
+    ``get`` blocks until an item is available.  Immediately satisfiable
+    puts/gets finish inline (no heap round-trip); blocked ones are woken
+    through the heap in FIFO order.
     """
 
     def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
@@ -159,7 +172,7 @@ class Store:
         ev = StorePut(self.env, item)
         if len(self.items) < self.capacity:
             self.items.append(item)
-            ev.succeed()
+            ev._state = _PROCESSED
             self._wake_getters()
         else:
             self._putters.append(ev)
@@ -171,7 +184,7 @@ class Store:
         ev = StorePut(self.env, item)
         if len(self.items) < self.capacity:
             self.items.appendleft(item)
-            ev.succeed()
+            ev._state = _PROCESSED
             self._wake_getters()
         else:
             self._putters.appendleft(ev)
@@ -180,7 +193,8 @@ class Store:
     def get(self) -> StoreGet:
         ev = StoreGet(self.env)
         if self.items:
-            ev.succeed(self.items.popleft())
+            ev._value = self.items.popleft()
+            ev._state = _PROCESSED
             self._admit_putters()
         else:
             self._getters.append(ev)

@@ -23,7 +23,7 @@ class IOPriority(enum.IntEnum):
     BACKGROUND = 10
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One device I/O.
 

@@ -26,6 +26,11 @@ class BlockStore:
         self._blocks: dict[Hashable, np.ndarray] = {}
         #: blocks carrying a latent sector error (drive-detectable on read)
         self.corrupted: set[Hashable] = set()
+        # copy-on-write zero template: zero-filled blocks share one
+        # read-only array until first mutation (bulk populate creates
+        # thousands of them; most are never written)
+        self._zero = np.zeros(block_size, dtype=np.uint8)
+        self._zero.flags.writeable = False
 
     def __contains__(self, block_id: Hashable) -> bool:
         return block_id in self._blocks
@@ -36,24 +41,53 @@ class BlockStore:
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._blocks)
 
-    def create(self, block_id: Hashable, data: np.ndarray | None = None) -> None:
-        """Materialize a block, zero-filled or from ``data``."""
+    def create(
+        self, block_id: Hashable, data: np.ndarray | None = None, own: bool = False
+    ) -> None:
+        """Materialize a block, zero-filled or from ``data``.
+
+        ``own=True`` transfers ownership of ``data`` (a fresh, unshared,
+        writable uint8 array) to the store instead of copying it — the bulk-
+        populate and rebuild paths hand over arrays nothing else references.
+        """
         if block_id in self._blocks:
             raise IntegrityError(f"block {block_id!r} already exists")
         if data is None:
-            self._blocks[block_id] = np.zeros(self.block_size, dtype=np.uint8)
+            self._blocks[block_id] = self._zero  # CoW: promoted on mutation
         else:
             data = np.asarray(data, dtype=np.uint8)
             if data.shape != (self.block_size,):
                 raise IntegrityError(
                     f"block {block_id!r}: size {data.shape} != {self.block_size}"
                 )
-            self._blocks[block_id] = data.copy()
+            if own and data.flags.owndata and data.flags.writeable:
+                self._blocks[block_id] = data
+            else:
+                self._blocks[block_id] = data.copy()
+
+    def create_zero(self, block_id: Hashable) -> None:
+        """Materialize a zero-filled block sharing the CoW template (no
+        allocation); promoted to a private copy on first mutation."""
+        if block_id in self._blocks:
+            raise IntegrityError(f"block {block_id!r} already exists")
+        self._blocks[block_id] = self._zero
 
     def ensure(self, block_id: Hashable) -> np.ndarray:
         if block_id not in self._blocks:
             self._blocks[block_id] = np.zeros(self.block_size, dtype=np.uint8)
         return self._blocks[block_id]
+
+    def _writable(self, block_id: Hashable) -> np.ndarray:
+        """Copy-on-write promotion: hand back a privately owned, writable
+        array for ``block_id``, materializing it if missing."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            block = self._blocks[block_id] = np.zeros(
+                self.block_size, dtype=np.uint8
+            )
+        elif not block.flags.writeable:
+            block = self._blocks[block_id] = block.copy()
+        return block
 
     def read(self, block_id: Hashable, offset: int = 0, size: int | None = None) -> np.ndarray:
         """Copy out ``size`` bytes at ``offset`` (whole block by default)."""
@@ -68,24 +102,41 @@ class BlockStore:
         view.flags.writeable = False
         return view
 
+    def read_view(
+        self, block_id: Hashable, offset: int = 0, size: int | None = None
+    ) -> np.ndarray:
+        """Zero-copy read-only view of a range — the hot-path alternative to
+        :meth:`read` for callers that *consume* the bytes (e.g. XOR them
+        into a fresh delta) before the next simulation yield.  The view
+        aliases live storage: it reflects any later mutation, so snapshot
+        semantics require materializing a derived array immediately."""
+        block = self._get(block_id)
+        size = self.block_size - offset if size is None else size
+        self._check_range(offset, size)
+        view = block[offset : offset + size]
+        view.flags.writeable = False
+        return view
+
     def write(self, block_id: Hashable, offset: int, data: np.ndarray) -> None:
         """Write ``data`` at ``offset``, materializing the block if needed."""
         data = np.asarray(data, dtype=np.uint8)
         self._check_range(offset, data.shape[0])
-        self.ensure(block_id)[offset : offset + data.shape[0]] = data
+        self._writable(block_id)[offset : offset + data.shape[0]] = data
 
     def xor_in(self, block_id: Hashable, offset: int, delta: np.ndarray) -> None:
         """In-place XOR merge — the parity-log recycle primitive."""
         delta = np.asarray(delta, dtype=np.uint8)
         self._check_range(offset, delta.shape[0])
-        self.ensure(block_id)[offset : offset + delta.shape[0]] ^= delta
+        self._writable(block_id)[offset : offset + delta.shape[0]] ^= delta
 
     def corrupt(self, block_id: Hashable, offset: int, nbytes: int) -> None:
         """Inject a latent sector error: flip bytes in place, bypassing the
         write path.  The damage is flagged in :attr:`corrupted` — the model's
         stand-in for the per-sector checksum a real drive fails on read —
         which scrubbing consults to localize and repair the block."""
-        block = self._get(block_id)
+        if block_id not in self._blocks:
+            raise IntegrityError(f"block {block_id!r} does not exist")
+        block = self._writable(block_id)
         self._check_range(offset, nbytes)
         block[offset : offset + nbytes] ^= 0xA5  # guaranteed to change bytes
         self.corrupted.add(block_id)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.client import UpdateOp
 from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
+from repro.common.refcount import RefCounter
 from repro.storage.base import IOKind, IOPriority
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,8 +43,10 @@ class UpdateMethod:
         self.ecfs = ecfs
         # stripes whose popped log content is mid-application (the entries
         # left the visible log but their parity work has not finished):
-        # counted so overlapping recycles nest correctly
-        self._busy_stripes: dict[tuple[int, int], int] = {}
+        # counted so overlapping recycles nest correctly; the last release
+        # of a stripe wakes event-based settlement waiters (reconstruction,
+        # drains) parked on it
+        self._busy_stripes = RefCounter(on_zero=ecfs.notify_stripe)
         # parity ROWS that missed a delta because their node was down (the
         # op's data committed in place): each is re-encoded from data once
         # its host is reachable — the model's equivalent of a degraded-
@@ -185,15 +188,11 @@ class UpdateMethod:
         instant where a delta is neither in a visible log nor busy, or a
         concurrent reconstruction could capture a torn stripe."""
         for key in stripes:
-            self._busy_stripes[key] = self._busy_stripes.get(key, 0) + 1
+            self._busy_stripes.incr(key)
 
     def _stripes_busy_end(self, stripes: set[tuple[int, int]]) -> None:
         for key in stripes:
-            left = self._busy_stripes.get(key, 0) - 1
-            if left > 0:
-                self._busy_stripes[key] = left
-            else:
-                self._busy_stripes.pop(key, None)
+            self._busy_stripes.decr(key)
 
     # ----------------------------------------------------- recovery hooks
     def quiesce_node(self, victim: OSD) -> Generator:
@@ -284,13 +283,16 @@ class UpdateMethod:
         with osd.block_lock(op.block).request() as lock:
             yield lock
             yield from osd.io_block(IOKind.READ, op.block, op.offset, op.size, priority)
+            # Zero-copy capture: the XOR below materializes the delta from a
+            # read-only view *before* any further yield, so the snapshot is
+            # taken at the read instant without an ndarray.copy().
             old = (
-                osd.store.read(op.block, op.offset, op.size)
+                osd.store.read_view(op.block, op.offset, op.size)
                 if op.block in osd.store
                 else np.zeros(op.size, dtype=np.uint8)
             )
-            yield self.env.timeout(self.costs.xor(op.size))
             delta = old ^ op.payload
+            yield self.env.timeout(self.costs.xor(op.size))
             yield from osd.io_block(
                 IOKind.WRITE, op.block, op.offset, op.size, priority, overwrite=True
             )
@@ -312,7 +314,7 @@ class UpdateMethod:
 
         ``frozen_ok`` is for reconstruction-internal replays (post_rebuild)
         that run while their own stripe is frozen."""
-        if not frozen_ok:
+        if not frozen_ok and self.ecfs.stripe_frozen(pblock.file_id, pblock.stripe):
             # reconstruction may hold the stripe frozen (capture -> re-home)
             yield from self.ecfs.wait_stripe_thaw(pblock.file_id, pblock.stripe)
         size = int(pdelta.shape[0])

@@ -119,6 +119,8 @@ class CoRD(UpdateMethod):
                 if not waiter.triggered:
                     waiter.succeed()
             self._waiters[collector.name].clear()
+            # flush/recovery waiters sleep on settlement progress
+            self.ecfs.notify_settlement()
 
     def _apply_snapshot(
         self, collector: OSD, snapshot: _Buffers, priority: int
@@ -166,9 +168,9 @@ class CoRD(UpdateMethod):
 
     # ---------------------------------------------------------------- drain
     def flush(self) -> Generator:
-        # wait out in-flight recycles, then recycle the residue
+        # wait out in-flight recycles (event-based), then recycle the residue
         while any(self._recycling.values()):
-            yield self.env.timeout(0.0001)
+            yield self.ecfs.settlement_event()
         jobs = []
         for osd in self.ecfs.osds:
             if self._buffer_used.get(osd.name):
@@ -219,7 +221,7 @@ class CoRD(UpdateMethod):
 
     def recovery_prepare(self, osd: OSD) -> Generator:
         while self._recycling.get(osd.name):
-            yield self.env.timeout(0.0001)
+            yield self.ecfs.settlement_event()
         if self._buffer_used.get(osd.name):
             snapshot = self._buffers[osd.name]
             self._buffers[osd.name] = {}

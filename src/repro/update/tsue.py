@@ -262,6 +262,9 @@ class TSUE(UpdateMethod):
             except IntegrityError:
                 return  # the node died mid-recycle; recovery takes over
             pool.unit_recycled(unit)
+            # a finished unit settles stripes (its content is merged):
+            # wake drain/quiesce/reconstruction waiters to re-check
+            self.ecfs.notify_settlement()
 
     # -- stage 1: DataLog ----------------------------------------------------
     def _recycle_datalog_unit(
@@ -288,19 +291,24 @@ class TSUE(UpdateMethod):
                     continue  # replay of an interrupted recycle
                 # reconstruction may hold the stripe frozen: applying this
                 # extent would emit a parity delta racing the re-home
-                yield from self.ecfs.wait_stripe_thaw(block.file_id, block.stripe)
+                if self.ecfs.stripe_frozen(block.file_id, block.stripe):
+                    yield from self.ecfs.wait_stripe_thaw(
+                        block.file_id, block.stripe
+                    )
                 # read old data and compute the delta
                 yield from osd.io_block(
                     IOKind.READ, block, ext.start, ext.size,
                     IOPriority.BACKGROUND, tag="tsue-dl-recycle",
                 )
+                # snapshot via read-only view: the XOR materializes the
+                # delta before the next yield, so no copy is needed
                 old = (
-                    osd.store.read(block, ext.start, ext.size)
+                    osd.store.read_view(block, ext.start, ext.size)
                     if block in osd.store
                     else np.zeros(ext.size, dtype=np.uint8)
                 )
-                yield self.env.timeout(self.costs.xor(ext.size))
                 delta = old ^ ext.data
+                yield self.env.timeout(self.costs.xor(ext.size))
                 # forward the delta BEFORE the in-place overwrite: should the
                 # node die in between, a replay recomputes the same delta
                 # from the unchanged block and the receivers dedup by token
@@ -467,7 +475,8 @@ class TSUE(UpdateMethod):
         for key, pbid, ext in self._plan_delta_forwards(unit):
             if key in unit.recycle_progress:
                 continue  # replay of an interrupted recycle
-            yield from self.ecfs.wait_stripe_thaw(pbid.file_id, pbid.stripe)
+            if self.ecfs.stripe_frozen(pbid.file_id, pbid.stripe):
+                yield from self.ecfs.wait_stripe_thaw(pbid.file_id, pbid.stripe)
             posd = self.ecfs.osd_hosting(pbid)
             token = (pool.name, unit.unit_id, unit.generation) + key
             if not posd.failed:
@@ -561,7 +570,9 @@ class TSUE(UpdateMethod):
                         busy = True
             if not busy:
                 return
-            yield self.env.timeout(0.0001)
+            # sleep until a unit finishes recycling (or a node dies and its
+            # backlog is dropped) instead of polling every 1e-4 s
+            yield self.ecfs.settlement_event()
 
     # ------------------------------------------------------------ recovery
     def quiesce_node(self, victim: OSD) -> Generator:
@@ -579,7 +590,8 @@ class TSUE(UpdateMethod):
             for pool in pools
             for unit in pool.units
         ):
-            yield self.env.timeout(0.0001)
+            # woken by the recycler's unit-finished notification
+            yield self.ecfs.settlement_event()
 
     def on_node_failed(self, victim: OSD) -> None:
         """Stash the victim's unrecycled logs for replica-based replay.

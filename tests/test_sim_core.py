@@ -264,3 +264,140 @@ def test_peek_reports_next_event_time():
     assert env.peek() == pytest.approx(7.0)
     env.run()
     assert env.peek() == float("inf")
+
+
+# ---------------------------------------------------------------- cancellation
+
+
+def test_cancelled_timeout_never_fires_nor_advances_clock():
+    env = Environment()
+    t = env.timeout(5.0)
+    t.cancel()
+    assert t.cancelled
+    env.run()
+    # the cancelled placeholder is discarded silently: no callback ran and
+    # the clock never advanced to its timestamp
+    assert env.now == 0.0
+    assert env.peek() == float("inf")
+
+
+def test_cancel_drops_waiter_wakeups():
+    """No wakeups after cancel: a condition holding a cancelled timeout only
+    fires through its other members."""
+    env = Environment()
+    woke = []
+
+    def waiter(ev, t):
+        yield env.any_of([ev, t])
+        woke.append(env.now)
+
+    ev = env.event()
+    t = env.timeout(1.0)
+    env.process(waiter(ev, t))
+    t.cancel()
+
+    def firer():
+        yield env.timeout(3.0)
+        ev.succeed()
+
+    env.process(firer())
+    env.run()
+    assert woke == [3.0]  # not 1.0: the cancelled timeout never woke anyone
+
+
+def test_cancel_pending_and_processed_is_noop():
+    env = Environment()
+    ev = env.event()
+    ev.cancel()  # pending: no-op
+    assert not ev.cancelled
+    t = env.timeout(0)
+    env.run()
+    t.cancel()  # processed: no-op
+    assert not t.cancelled
+
+
+def test_interrupt_cancels_abandoned_timeout():
+    """The interrupted process's private timeout is cancelled outright, so
+    the simulation does not drain a stale wakeup at t=100."""
+    env = Environment()
+    caught = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            caught.append((intr.cause, env.now))
+
+    def attacker(proc):
+        yield env.timeout(1)
+        proc.interrupt("die")
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    assert caught == [("die", 1.0)]
+    assert env.now == 1.0  # seed drained the abandoned timeout at t=100
+    assert env.peek() == float("inf")
+
+
+def test_steps_counts_processed_events_only():
+    env = Environment()
+    t = env.timeout(1.0)
+    env.timeout(2.0)
+    t.cancel()
+    env.run()
+    assert env.steps == 1  # the cancelled entry does not count
+
+
+# ------------------------------------------------------- run(until=Event) ties
+
+
+def test_run_until_event_drains_earlier_same_time_events():
+    """Documented tie-break: when the stop event fires at time T, remaining
+    heap entries at T that were *scheduled before it* (smaller tie counter)
+    are drained before run() returns; later-scheduled ones stay pending and
+    peek() reports them."""
+    env = Environment()
+    order = []
+    t_a = env.timeout(1.0)  # scheduled before the stop event (smaller tie)
+    t_b = env.timeout(1.0)
+
+    def logger(tag, t):
+        yield t
+        order.append(tag)
+
+    env.process(logger("a", t_a))
+    env.process(logger("b", t_b))
+    # a priority-0 stop event at t=1 pops ahead of the same-time timeouts
+    # even though they were scheduled first — the drain still runs them
+    stop = env.event()
+    stop._ok = True
+    stop._state = 1  # triggered
+    env._schedule(stop, delay=1.0, priority=0)
+    env.run(stop)
+    assert order == ["a", "b"]
+    # the logger processes' completion events were scheduled *after* the
+    # stop event and are still pending at t=1
+    assert env.peek() == pytest.approx(1.0)
+    env.run()
+    assert env.now == pytest.approx(1.0)
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+    t = env.timeout(0, value="x")
+    env.run()
+    assert t.processed
+    assert env.run(until=t) == "x"
+
+
+def test_schedule_at_absolute_time():
+    env = Environment()
+    ev = env.event()
+    ev._ok = True
+    ev._state = 1
+    env.schedule_at(ev, 4.5)
+    env.run()
+    assert env.now == pytest.approx(4.5)
+    with pytest.raises(ValueError):
+        env.schedule_at(env.event(), 1.0)  # in the past

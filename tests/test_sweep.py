@@ -1,0 +1,146 @@
+"""Sweep executor: parallel == serial, content-addressed cache, CLI smoke."""
+
+import os
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.runner import ExperimentConfig
+from repro.harness.sweep import (
+    SweepExecutor,
+    config_key,
+    run_cells,
+    scenario_key,
+)
+
+
+def _cells(n_ops: int = 120) -> list[ExperimentConfig]:
+    """A 2-cell grid (method x one trace), small enough for the fast tier."""
+    return [
+        ExperimentConfig(
+            method=method,
+            trace="tencloud",
+            k=4,
+            m=2,
+            n_osds=10,
+            n_clients=4,
+            n_ops=n_ops,
+            block_size=1 << 16,
+            log_unit_size=1 << 17,
+            n_files=2,
+            stripes_per_file=2,
+        )
+        for method in ("tsue", "fo")
+    ]
+
+
+def _comparable(res):
+    """Everything that must agree between serial and parallel runs (host-
+    side perf is machine-dependent and excluded by design)."""
+    return (
+        res.iops,
+        res.update_iops,
+        res.latency,
+        res.elapsed_sim,
+        res.memory_bytes,
+        res.workload,
+    )
+
+
+def test_config_key_is_content_addressed():
+    a, b = _cells()
+    assert config_key(a) != config_key(b)  # different methods
+    assert config_key(a) == config_key(_cells()[0])  # same content
+    assert scenario_key("crash-mid-update", 7) != scenario_key(
+        "crash-mid-update", 8
+    )
+
+
+def test_parallel_sweep_equals_serial():
+    """The fast-tier smoke test: a 2-cell grid on 2 workers must agree
+    byte-for-byte with the serial run (each cell is one deterministic
+    simulation either way)."""
+    cells = _cells()
+    serial = SweepExecutor(workers=1).run(cells)
+    parallel = SweepExecutor(workers=2).run(cells)
+    assert [_comparable(r) for r in serial] == [_comparable(r) for r in parallel]
+    assert all(r.ecfs is None for r in parallel)  # results crossed processes
+
+
+def test_cache_roundtrip(tmp_path):
+    cells = _cells()
+    ex = SweepExecutor(workers=1, cache_dir=str(tmp_path))
+    first = ex.run(cells)
+    assert ex.stats.cache_hits == 0
+    assert len(list(tmp_path.glob("*.pkl"))) == len(cells)
+    second = ex.run(cells)
+    assert ex.stats.cache_hits == len(cells)
+    assert [_comparable(r) for r in first] == [_comparable(r) for r in second]
+
+
+def test_cache_miss_on_config_change(tmp_path):
+    ex = SweepExecutor(workers=1, cache_dir=str(tmp_path))
+    ex.run(_cells())
+    ex.run(_cells(n_ops=121))
+    assert ex.stats.cache_hits == 0  # different n_ops => different address
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cells = _cells()[:1]
+    ex = SweepExecutor(workers=1, cache_dir=str(tmp_path))
+    ex.run(cells)
+    (entry,) = tmp_path.glob("*.pkl")
+    entry.write_bytes(b"not a pickle")
+    res = ex.run(cells)
+    assert ex.stats.cache_hits == 0
+    assert res[0].iops > 0
+
+
+def test_scenario_sweep_parallel_equals_serial():
+    names, seeds = ["crash-mid-update"], [7]
+    (serial,) = SweepExecutor(workers=1).run_scenarios(names, seeds)
+    (parallel,) = SweepExecutor(workers=2).run_scenarios(names, seeds + [])
+    # wall_seconds/events_per_sec are host-side; the canonical digest and
+    # every simulated observable must agree
+    assert serial.digest == parallel.digest
+    assert serial.ops == parallel.ops
+    assert serial.sim_time == parallel.sim_time
+    assert serial.fault_log == parallel.fault_log
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        SweepExecutor(workers=0)
+
+
+def test_run_cells_defaults_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    results = run_cells(_cells()[:1])
+    assert results[0].iops > 0
+    assert results[0].perf["events"] > 0
+
+
+def test_sweep_cli_smoke(capsys, tmp_path):
+    rc = main(
+        [
+            "sweep",
+            "--methods",
+            "tsue,fo",
+            "--traces",
+            "tencloud",
+            "--ops",
+            "100",
+            "--clients",
+            "4",
+            "--workers",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TSUE" in out and "FO" in out
+    assert "2 cells" in out
+    assert os.listdir(tmp_path)  # cache populated
