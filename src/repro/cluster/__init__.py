@@ -7,7 +7,7 @@ semantics are pluggable per :mod:`repro.update` method.
 
 from repro.cluster.ids import BlockId, BlockKind, block_kind
 from repro.cluster.config import CPUCosts, ClusterConfig
-from repro.cluster.layout import Placement
+from repro.cluster.layout import Placement  # rotation policy (compat alias)
 from repro.cluster.mds import MDS
 from repro.cluster.osd import OSD
 from repro.cluster.client import Client, UpdateOp

@@ -70,6 +70,19 @@ class Client:
         primary = ecfs.osd_hosting(block)
         hdr = ecfs.config.header_bytes
         yield from ecfs.net.transfer(self.name, primary.name, size + hdr)
+        # an epoch remap (rebalance move, recovery re-home) can change the
+        # block's home while the request is in flight: chase the redirect
+        # like a real client retrying on wrong-primary.  Zero-cost on the
+        # common path — the loop body only runs if the home actually moved
+        # or the stripe froze under us.
+        while True:
+            if ecfs.stripe_frozen(block.file_id, block.stripe):
+                yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
+            current = ecfs.osd_hosting(block)
+            if current is primary:
+                break
+            yield from ecfs.net.transfer(primary.name, current.name, size + hdr)
+            primary = current
         ecfs.note_update_begin(block)
         try:
             yield self.env.process(
@@ -106,6 +119,13 @@ class Client:
             ecfs.metrics.record_read(self.env.now - t0, size)
             return data
         yield from ecfs.net.transfer(self.name, primary.name, hdr)
+        # chase epoch remaps that landed while the request was in flight
+        while True:
+            current = ecfs.osd_hosting(block)
+            if current is primary:
+                break
+            yield from ecfs.net.transfer(primary.name, current.name, hdr)
+            primary = current
         data = yield self.env.process(
             ecfs.method.handle_read(primary, block, in_off, size)
         )

@@ -39,6 +39,11 @@ class ClusterConfig:
     block_size: int = 1 * MiB
     matrix_kind: str = "cauchy"
     device: str = "ssd"  # "ssd" | "hdd"
+    # placement: policy + failure-domain topology (repro.placement)
+    placement_policy: str = "rotation"  # "rotation" | "crush"
+    osds_per_host: int = 1
+    hosts_per_rack: int = 4
+    failure_domain: str = "host"  # "host" | "rack"
     # TSUE log sizing (per pool); §5.3.2: unit 16 MiB, 2..20 units, 4 pools
     log_unit_size: int = 4 * MiB
     log_min_units: int = 2
@@ -63,6 +68,14 @@ class ClusterConfig:
             raise ConfigError(f"unknown device kind {self.device!r}")
         if self.log_unit_size <= 0 or self.log_pools < 1:
             raise ConfigError("invalid log sizing")
+        if self.placement_policy not in ("rotation", "crush"):
+            raise ConfigError(
+                f"unknown placement policy {self.placement_policy!r}"
+            )
+        if self.failure_domain not in ("host", "rack"):
+            raise ConfigError(f"unknown failure domain {self.failure_domain!r}")
+        if self.osds_per_host < 1 or self.hosts_per_rack < 1:
+            raise ConfigError("invalid topology sizing")
 
     @property
     def stripe_width(self) -> int:

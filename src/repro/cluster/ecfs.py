@@ -9,7 +9,6 @@ import numpy as np
 from repro.cluster.client import Client
 from repro.cluster.config import ClusterConfig
 from repro.cluster.ids import BlockId
-from repro.cluster.layout import Placement
 from repro.cluster.mds import MDS
 from repro.cluster.osd import OSD
 from repro.cluster.verify import GroundTruth
@@ -18,11 +17,16 @@ from repro.common.refcount import RefCounter
 from repro.ec.rs import RSCode
 from repro.metrics.collector import MetricsCollector
 from repro.net.fabric import NetParams, NetworkFabric
+from repro.placement import MigrationPlan, PlacementMap, Topology, make_policy
 from repro.sim import Environment, Event
 from repro.storage.hdd import HDDevice, HDDParams
 from repro.storage.ssd import SSDevice, SSDParams
 
 __all__ = ["ECFS"]
+
+
+def _never_blocked() -> bool:
+    return False
 
 
 class ECFS:
@@ -53,13 +57,18 @@ class ECFS:
         self.env = env or Environment()
         self.net = NetworkFabric(self.env, net_params)
         self.rs = RSCode(self.config.k, self.config.m, self.config.matrix_kind)
-        self.placement = Placement(
-            self.config.n_osds, self.config.k, self.config.m, self.config.log_pools
+        self.topology = Topology.flat(
+            self.config.n_osds,
+            osds_per_host=self.config.osds_per_host,
+            hosts_per_rack=self.config.hosts_per_rack,
+            failure_domain=self.config.failure_domain,
         )
+        self.placement = PlacementMap(self._build_policy())
         self.mds = MDS(self.placement, self.config.block_size)
         self.oracle = GroundTruth(self.config.block_size)
         self.metrics = MetricsCollector(self.env)
-        self._placement_override: dict[BlockId, int] = {}
+        self._ssd_params = ssd_params
+        self._hdd_params = hdd_params
 
         self.osds: list[OSD] = []
         for i in range(self.config.n_osds):
@@ -80,6 +89,10 @@ class ECFS:
         self.clients: list[Client] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.known_blocks: set[BlockId] = set()
+        #: observers of elastic growth, called with the new OSD after
+        #: :meth:`join_osd` wires it up (the heartbeat service registers a
+        #: sender here so a joined node is monitored, not declared dead)
+        self.on_osd_joined: list = []
         # event-based settlement waiters: per-stripe lists woken when a hold
         # on that stripe releases, plus cluster-wide waiters woken on any
         # settlement progress (unit recycled, node failed/restarted...).
@@ -171,6 +184,61 @@ class ECFS:
     def note_update_end(self, block: BlockId) -> None:
         self._inflight_stripe.decr((block.file_id, block.stripe))
 
+    def settle_stripe(self, file_id, stripe, extra_blocked=None):
+        """Process fragment: wait until the stripe can be captured — no
+        in-flight update, no applied-but-unsettled delta, not frozen, and
+        (optionally) no ``extra_blocked()`` condition.
+
+        This is THE settle discipline shared by reconstruction and the
+        rebalancer: activity that signals its own completion (in-flight
+        updates, freezes, mid-application log content) is waited out
+        event-based via :meth:`stripe_released`; debt that only settles on
+        an explicit flush (PL-style deferred recycling, or the caller's
+        extra condition such as TSUE DataLog content pending on a source
+        node) is forced through ``flush`` + ``resync_parity``, with a
+        bounded-poll fallback for the stripe an in-flight settlement
+        elsewhere is still draining.  On return the caller may freeze the
+        stripe immediately — the DES never preempts between the last check
+        and the freeze.
+        """
+        key = (file_id, stripe)
+        extra = extra_blocked if extra_blocked is not None else _never_blocked
+        while (
+            not self.stripe_quiescent(file_id, stripe)
+            or self.stripe_frozen(file_id, stripe)
+            or extra()
+        ):
+            if (
+                (key in self.method.unsettled_stripes() or extra())
+                and not self.inflight_updates(file_id, stripe)
+                and not self.stripe_frozen(file_id, stripe)
+            ):
+                # deferred-recycle methods settle only on an explicit
+                # flush; force one — then repair any parity rows that lost
+                # deltas — so the capture isn't stuck behind debt that
+                # would otherwise sit until a threshold
+                yield self.env.process(
+                    self.method.flush(), name=f"settle-f{file_id}.s{stripe}"
+                )
+                yield self.env.process(
+                    self.method.resync_parity(),
+                    name=f"resync-f{file_id}.s{stripe}",
+                )
+                if (
+                    (key in self.method.unsettled_stripes() or extra())
+                    and not self.inflight_updates(file_id, stripe)
+                    and not self.stripe_frozen(file_id, stripe)
+                ):
+                    # the forced pass could not settle this stripe (e.g. a
+                    # resync skipped it behind still-draining deltas): fall
+                    # back to a bounded poll so the in-flight settlement
+                    # can advance
+                    yield self.env.timeout(1e-4)
+                continue
+            # blocked on activity that signals its own completion: sleep
+            # until the releasing transition wakes us
+            yield self.stripe_released(file_id, stripe)
+
     def stripe_quiescent(self, file_id: int, stripe: int) -> bool:
         """True when the stripe has no in-flight update and no
         applied-to-data-but-pending-on-parity delta anywhere — i.e. its
@@ -222,14 +290,108 @@ class ECFS:
         return osd
 
     # ------------------------------------------------------------ placement
-    def osd_hosting(self, block: BlockId) -> OSD:
-        override = self._placement_override.get(block)
-        idx = override if override is not None else self.placement.osd_of(block)
-        return self.osds[idx]
+    def _build_policy(self):
+        """Fresh policy instance from the topology's current state (one per
+        epoch; instances are immutable, see :mod:`repro.placement.base`)."""
+        return make_policy(
+            self.config.placement_policy,
+            self.topology,
+            self.config.k,
+            self.config.m,
+            self.config.log_pools,
+        )
 
-    def rehome_block(self, block: BlockId, osd_idx: int) -> None:
-        """Recovery: record that a rebuilt block now lives on ``osd_idx``."""
-        self._placement_override[block] = osd_idx
+    def osd_hosting(self, block: BlockId) -> OSD:
+        """The OSD actually serving ``block`` — epoch ideal unless a remap
+        (recovery re-home, pending migration) says otherwise."""
+        return self.osds[self.placement.home_of(block)]
+
+    def advance_epoch(self) -> MigrationPlan:
+        """Re-derive placement from the current topology as a new epoch.
+
+        Data does not move here: blocks off their new ideal home become
+        remaps, and the returned plan lists the moves a
+        :class:`~repro.placement.rebalancer.Rebalancer` should execute.
+        """
+        plan = self.placement.advance(self._build_policy(), self.known_blocks)
+        # an epoch changes where parity deltas and replicas land: re-check
+        # parked settlement waiters against the new mapping
+        self.notify_settlement()
+        return plan
+
+    def join_osd(
+        self,
+        weight: float = 1.0,
+        host: int | None = None,
+        rack: int | None = None,
+    ) -> tuple[OSD, MigrationPlan]:
+        """Elastically grow the cluster by one OSD (new failure domain by
+        default) and advance the placement epoch."""
+        idx = len(self.osds)
+        device = self._make_device(idx, self._ssd_params, self._hdd_params)
+        osd = OSD(self.env, idx, device, self.config.block_size)
+        self.osds.append(osd)
+        self.net.add_node(osd.name)
+        osd.method = self.method
+        self.method.on_node_joined(osd)
+        self.mds.heartbeat(idx, self.env.now)
+        self.topology.add_osd(idx, weight=weight, host=host, rack=rack)
+        plan = self.advance_epoch()
+        for callback in list(self.on_osd_joined):
+            callback(osd)
+        return osd, plan
+
+    def decommission_osd(self, idx: int) -> MigrationPlan:
+        """Gracefully remove ``idx`` from placement: the node keeps serving
+        its blocks (as remaps) until a rebalance drains them, after which
+        :meth:`retire_osd` takes it out of service."""
+        self.topology.remove_osd(idx)
+        return self.advance_epoch()
+
+    def set_osd_weight(self, idx: int, weight: float) -> MigrationPlan:
+        """Reweight one device and advance the epoch (CRUSH policies shift
+        a proportional share of blocks; rotation ignores weights)."""
+        self.topology.set_weight(idx, weight)
+        return self.advance_epoch()
+
+    def retire_osd(self, idx: int) -> bool:
+        """Take a drained, decommissioned node out of service.  Refuses (and
+        returns False) while any block still actually lives there."""
+        if any(self.placement.home_of(b) == idx for b in self.known_blocks):
+            return False
+        osd = self.osds[idx]
+        if not osd.failed:
+            osd.fail()
+            self.method.on_node_failed(osd)
+            self.mds.declare_failed(idx)
+            self.notify_settlement()
+        return True
+
+    def placement_loads(self) -> dict[int, int]:
+        """Blocks actually homed per OSD (actual homes, remaps included)."""
+        loads = {osd.idx: 0 for osd in self.osds}
+        for block in self.known_blocks:
+            loads[self.placement.home_of(block)] += 1
+        return loads
+
+    def tail_imbalance(self) -> float:
+        """Max weight-normalized load over mean — 1.0 is perfectly balanced
+        (the collector's time-to-balanced metric tracks this back to ~1).
+
+        Nodes that left the topology but still home blocks (a decommission
+        mid-drain) count at unit weight, so the pre-drain imbalance shows
+        the load that is about to move; drained/retired nodes drop out.
+        """
+        weights = self.topology.weights()
+        normalized = []
+        for osd, load in self.placement_loads().items():
+            weight = weights.get(osd)
+            if weight is None:
+                if load == 0:
+                    continue  # retired or never-populated: not a target
+                weight = 1.0
+            normalized.append(load / weight)
+        return MetricsCollector.tail_imbalance(normalized)
 
     # ------------------------------------------------------------- populate
     def populate(

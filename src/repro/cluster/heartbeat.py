@@ -53,16 +53,24 @@ class HeartbeatService:
     def start(self) -> None:
         env = self.ecfs.env
         for osd in self.ecfs.osds:
-            self.ecfs.mds.heartbeat(osd.idx, env.now)
-            self._procs.append(
-                env.process(self._sender(osd), name=f"hb-{osd.name}")
-            )
+            self._watch(osd)
         self._procs.append(env.process(self._monitor(), name="hb-monitor"))
+        # elastic growth: a joined OSD needs its own sender, or the monitor
+        # would declare the healthy newcomer dead after one silent timeout
+        self.ecfs.on_osd_joined.append(self._watch)
 
     def stop(self) -> None:
         for proc in self._procs:
             proc.interrupt("heartbeat-service-stopped")
         self._procs.clear()
+        if self._watch in self.ecfs.on_osd_joined:
+            self.ecfs.on_osd_joined.remove(self._watch)
+
+    def _watch(self, osd) -> None:
+        """Record an initial beat and spawn the node's sender process."""
+        env = self.ecfs.env
+        self.ecfs.mds.heartbeat(osd.idx, env.now)
+        self._procs.append(env.process(self._sender(osd), name=f"hb-{osd.name}"))
 
     # ------------------------------------------------------------ processes
     def _sender(self, osd) -> Generator:

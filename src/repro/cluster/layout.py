@@ -1,86 +1,14 @@
-"""Deterministic block placement across OSDs.
+"""Back-compat shim: placement moved to :mod:`repro.placement`.
 
-Each stripe's ``k+m`` blocks land on ``k+m`` distinct OSDs, rotated by a
-per-stripe hash so data and parity load spread evenly (parity blocks of
-different stripes live on different nodes).  The DataLog replica for a data
-block goes to the *next* OSD in the stripe's rotation that hosts none of the
-stripe's blocks — or, when n_osds == k+m, to the neighbour node, matching the
-paper's REP-DataLog-S(X±1) layout in Fig. 4.
+The seed's ``Placement`` rotation layout lives on, byte-identical, as
+:class:`repro.placement.rotation.RotationPolicy`; the cluster now consults
+an epoch-aware :class:`repro.placement.epoch.PlacementMap` instead of a
+bare policy.  Importing ``Placement`` from here keeps old call sites and
+notebooks working.
 """
 
 from __future__ import annotations
 
-from repro.cluster.ids import BlockId
+from repro.placement.rotation import RotationPolicy as Placement
 
 __all__ = ["Placement"]
-
-_HASH_MIX = 0x9E3779B97F4A7C15
-
-
-def _mix(*values: int) -> int:
-    h = 0
-    for v in values:
-        h ^= (v + _HASH_MIX + (h << 6) + (h >> 2)) & 0xFFFFFFFFFFFFFFFF
-    return h
-
-
-class Placement:
-    """Pure function (config) -> node index for every block/replica/pool."""
-
-    def __init__(self, n_osds: int, k: int, m: int, log_pools: int = 4) -> None:
-        if n_osds < k + m:
-            raise ValueError("need n_osds >= k+m")
-        self.n_osds = n_osds
-        self.k = k
-        self.m = m
-        self.log_pools = log_pools
-        # placement is a pure function of the block id, and the hot paths
-        # resolve the same few thousand blocks millions of times: memoize
-        self._osd_cache: dict[BlockId, int] = {}
-        self._pool_cache: dict[BlockId, int] = {}
-
-    # ------------------------------------------------------------------ API
-    def stripe_base(self, file_id: int, stripe: int) -> int:
-        """First OSD of the stripe's rotation."""
-        return _mix(file_id, stripe) % self.n_osds
-
-    def osd_of(self, block: BlockId) -> int:
-        """Node index hosting ``block``."""
-        idx = self._osd_cache.get(block)
-        if idx is None:
-            if not 0 <= block.idx < self.k + self.m:
-                raise ValueError(f"block idx {block.idx} outside stripe width")
-            idx = (
-                self.stripe_base(block.file_id, block.stripe) + block.idx
-            ) % self.n_osds
-            self._osd_cache[block] = idx
-        return idx
-
-    def stripe_osds(self, file_id: int, stripe: int) -> list[int]:
-        base = self.stripe_base(file_id, stripe)
-        return [(base + i) % self.n_osds for i in range(self.k + self.m)]
-
-    def parity_osds(self, file_id: int, stripe: int) -> list[int]:
-        base = self.stripe_base(file_id, stripe)
-        return [(base + self.k + j) % self.n_osds for j in range(self.m)]
-
-    def replica_osd(self, block: BlockId) -> int:
-        """Node hosting the DataLog replica for a data block: the next node
-        after the stripe's span (wraps to base+idx+1 when the stripe covers
-        every node)."""
-        used = set(self.stripe_osds(block.file_id, block.stripe))
-        home = self.osd_of(block)
-        if len(used) < self.n_osds:
-            cand = (self.stripe_base(block.file_id, block.stripe) + self.k + self.m) % self.n_osds
-            while cand in used:
-                cand = (cand + 1) % self.n_osds
-            return cand
-        return (home + 1) % self.n_osds
-
-    def pool_of(self, block: BlockId) -> int:
-        """Log pool index for a block — hash of (inode, stripe, block) §3.2.1."""
-        pool = self._pool_cache.get(block)
-        if pool is None:
-            pool = _mix(block.file_id, block.stripe, block.idx) % self.log_pools
-            self._pool_cache[block] = pool
-        return pool

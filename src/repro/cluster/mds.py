@@ -15,8 +15,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.cluster.ids import BlockId
-from repro.cluster.layout import Placement
 from repro.common.errors import IntegrityError
+from repro.placement.epoch import PlacementMap
 
 __all__ = ["FileMeta", "MDS"]
 
@@ -36,7 +36,7 @@ class FileMeta:
 class MDS:
     """Namespace + placement oracle + heartbeat monitor."""
 
-    def __init__(self, placement: Placement, block_size: int) -> None:
+    def __init__(self, placement: PlacementMap, block_size: int) -> None:
         self.placement = placement
         self.block_size = block_size
         self.files: dict[int, FileMeta] = {}

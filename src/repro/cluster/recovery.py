@@ -56,13 +56,10 @@ class RecoveryManager:
         """Blocks whose *current* home (including recovery re-homes from an
         earlier failure) is ``osd_idx``."""
         ecfs = self.ecfs
-        out = []
-        for b in ecfs.known_blocks:
-            override = ecfs._placement_override.get(b)
-            home = override if override is not None else ecfs.placement.osd_of(b)
-            if home == osd_idx:
-                out.append(b)
-        return sorted(out)
+        return sorted(
+            b for b in ecfs.known_blocks
+            if ecfs.placement.home_of(b) == osd_idx
+        )
 
     def fail_and_recover(self, osd_idx: int) -> Generator:
         """Process: kill ``osd_idx``, settle logs, rebuild; returns report.
@@ -158,39 +155,7 @@ class RecoveryManager:
         # blocks of ONE stripe must serialize, or the second capture races
         # the first rebuild's stash replay.  Check-and-freeze is atomic —
         # the DES never preempts between the last poll and the freeze.
-        stripe_key = (block.file_id, block.stripe)
-        while not ecfs.stripe_quiescent(*stripe_key) or (
-            ecfs.stripe_frozen(*stripe_key)
-        ):
-            if (
-                stripe_key in ecfs.method.unsettled_stripes()
-                and not ecfs.inflight_updates(*stripe_key)
-                and not ecfs.stripe_frozen(*stripe_key)
-            ):
-                # deferred-recycle methods (PL-style) only settle on an
-                # explicit flush; force one — then repair any parity rows
-                # that lost deltas — so reconstruction isn't stuck behind
-                # debt that would otherwise sit until a threshold
-                yield env.process(ecfs.method.flush(), name=f"rec-settle-{block}")
-                yield env.process(
-                    ecfs.method.resync_parity(), name=f"rec-resync-{block}"
-                )
-                if (
-                    stripe_key in ecfs.method.unsettled_stripes()
-                    and not ecfs.inflight_updates(*stripe_key)
-                    and not ecfs.stripe_frozen(*stripe_key)
-                ):
-                    # the forced pass could not settle this stripe (e.g. the
-                    # resync skipped it behind still-draining deltas): fall
-                    # back to a bounded poll so the in-flight settlement can
-                    # advance — the degenerate case the seed polled for
-                    yield env.timeout(1e-4)
-                continue
-            # blocked on activity that signals its own completion (in-flight
-            # update, freeze, mid-application log content): sleep until the
-            # releasing transition wakes us — quiescence wakes exactly when
-            # the last hold releases, not at the next 1e-4 poll tick
-            yield ecfs.stripe_released(*stripe_key)
+        yield from ecfs.settle_stripe(block.file_id, block.stripe)
         ecfs.freeze_stripe(block.file_id, block.stripe)
         try:
             # Capture every source at ONE simulated instant (the fetches
@@ -226,7 +191,9 @@ class RecoveryManager:
                 tosd.store.write(block, 0, rebuilt)
             else:
                 tosd.store.create(block, rebuilt)
-            ecfs.rehome_block(block, target)
+            # epoch remap: the rebuilt block's actual home is now `target`
+            # (cleared automatically if a later epoch makes it ideal again)
+            ecfs.placement.pin(block, target)
         finally:
             ecfs.thaw_stripe(block.file_id, block.stripe)
 
@@ -262,10 +229,10 @@ class RecoveryManager:
         """Spread rebuilt blocks over survivors not already in the stripe."""
         ecfs = self.ecfs
         in_stripe = {
-            ecfs.placement.osd_of(BlockId(block.file_id, block.stripe, i))
+            ecfs.placement.home_of(BlockId(block.file_id, block.stripe, i))
             for i in range(ecfs.rs.k + ecfs.rs.m)
         }
-        n = ecfs.config.n_osds
+        n = len(ecfs.osds)
         start = (failed_idx + 1 + (block.stripe % n)) % n
         for off in range(n):
             cand = (start + off) % n

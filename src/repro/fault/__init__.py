@@ -34,6 +34,7 @@ from repro.fault.events import (
     after_ops,
     after_recycles,
 )
+from repro.fault.events import OSDDecommission, OSDJoin, WeightChange
 from repro.fault.injector import FaultInjector
 from repro.fault.runner import ScenarioResult, ScenarioRunner, ScenarioSpec
 from repro.fault.scenarios import SCENARIOS, get_scenario
@@ -53,6 +54,9 @@ __all__ = [
     "StickDisk",
     "CorruptBlock",
     "ScrubPass",
+    "OSDJoin",
+    "OSDDecommission",
+    "WeightChange",
     "after_ops",
     "after_recycles",
     "after_drain",

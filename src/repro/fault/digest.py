@@ -61,7 +61,8 @@ def cluster_digest(ecfs: "ECFS", include_content: bool = True) -> str:
         "oracle_updates": ecfs.oracle.applied_updates,
         "known_blocks": len(ecfs.known_blocks),
         "failed": sorted(ecfs.mds.failed),
-        "rehomed": len(ecfs._placement_override),
+        "rehomed": len(ecfs.placement.remapped),
+        "epoch": ecfs.placement.epoch,
         "updates": ecfs.metrics.updates.count,
         "reads": ecfs.metrics.reads.count,
         "update_latency_sum": float(sum(ecfs.metrics.updates.latencies)),

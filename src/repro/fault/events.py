@@ -27,6 +27,9 @@ __all__ = [
     "StickDisk",
     "CorruptBlock",
     "ScrubPass",
+    "OSDJoin",
+    "OSDDecommission",
+    "WeightChange",
     "FaultSchedule",
     "after_ops",
     "after_recycles",
@@ -134,6 +137,45 @@ class ScrubPass(FaultEvent):
     """Run one scrub pass over the cluster (repairing if asked)."""
 
     repair: bool = True
+
+
+@dataclass(frozen=True)
+class OSDJoin(FaultEvent):
+    """Elastic growth: a new OSD (its own failure domain unless ``host``
+    says otherwise) joins, the placement epoch advances, and — unless
+    ``rebalance`` is off — a background rebalancer migrates the newcomer's
+    share of blocks at ``bw_cap`` bytes/sec while traffic keeps flowing."""
+
+    weight: float = 1.0
+    host: Optional[int] = None
+    rack: Optional[int] = None
+    rebalance: bool = True
+    bw_cap: Optional[float] = None
+    parallel: int = 2
+
+
+@dataclass(frozen=True)
+class OSDDecommission(FaultEvent):
+    """Graceful removal: the node leaves placement, a rebalance drains its
+    blocks to the survivors, and (``retire``) it is then taken out of
+    service — the planned counterpart of :class:`CrashOSD`."""
+
+    osd: int
+    retire: bool = True
+    bw_cap: Optional[float] = None
+    parallel: int = 2
+
+
+@dataclass(frozen=True)
+class WeightChange(FaultEvent):
+    """Reweight one device (capacity upgrade / pre-failure drain): CRUSH
+    policies shift a proportional share of blocks on the epoch advance."""
+
+    osd: int
+    weight: float
+    rebalance: bool = True
+    bw_cap: Optional[float] = None
+    parallel: int = 2
 
 
 @dataclass

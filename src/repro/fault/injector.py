@@ -22,12 +22,16 @@ from repro.fault.events import (
     DegradeNIC,
     FaultEvent,
     FaultSchedule,
+    OSDDecommission,
+    OSDJoin,
     PartitionNet,
     ScrubPass,
     SlowDisk,
     StickDisk,
     Trigger,
+    WeightChange,
 )
+from repro.placement.rebalancer import RebalanceReport, Rebalancer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.ecfs import ECFS
@@ -50,6 +54,7 @@ class FaultInjector:
         self.log: list[tuple[float, str]] = []
         self.recovery_reports: list[RecoveryReport] = []
         self.scrub_reports: list[ScrubReport] = []
+        self.rebalance_reports: list[RebalanceReport] = []
         self.corrupted: list = []  # BlockIds injected with latent errors
         self.skipped: list[str] = []  # events whose trigger deadline passed
         self._procs: list = []
@@ -142,6 +147,37 @@ class FaultInjector:
             self.corrupted.append(bid)
             self._note(f"corrupt {bid} on {osd.name} ({nbytes}B)")
             yield env.timeout(0)
+        elif isinstance(event, OSDJoin):
+            osd, plan = self.ecfs.join_osd(
+                weight=event.weight, host=event.host, rack=event.rack
+            )
+            self._note(
+                f"join {osd.name} -> epoch {self.ecfs.placement.epoch} "
+                f"({len(plan.moves)} moves planned)"
+            )
+            if event.rebalance:
+                yield from self._rebalance(plan, event.bw_cap, event.parallel)
+        elif isinstance(event, OSDDecommission):
+            plan = self.ecfs.decommission_osd(event.osd)
+            self._note(
+                f"decommission osd{event.osd} -> epoch "
+                f"{self.ecfs.placement.epoch} ({len(plan.moves)} moves planned)"
+            )
+            yield from self._rebalance(plan, event.bw_cap, event.parallel)
+            if event.retire:
+                retired = self.ecfs.retire_osd(event.osd)
+                self._note(
+                    f"retire osd{event.osd}: "
+                    f"{'done' if retired else 'blocked (blocks remain)'}"
+                )
+        elif isinstance(event, WeightChange):
+            plan = self.ecfs.set_osd_weight(event.osd, event.weight)
+            self._note(
+                f"reweight osd{event.osd} to {event.weight:g} -> epoch "
+                f"{self.ecfs.placement.epoch} ({len(plan.moves)} moves planned)"
+            )
+            if event.rebalance:
+                yield from self._rebalance(plan, event.bw_cap, event.parallel)
         elif isinstance(event, ScrubPass):
             report = yield env.process(
                 Scrubber(self.ecfs, repair=event.repair).scrub(), name="fault-scrub"
@@ -153,6 +189,14 @@ class FaultInjector:
             )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown fault event {event!r}")
+
+    def _rebalance(self, plan, bw_cap, parallel) -> Generator:
+        rebalancer = Rebalancer(self.ecfs, bandwidth_cap=bw_cap, parallel=parallel)
+        report = yield self.ecfs.env.process(
+            rebalancer.run(plan), name=f"fault-rebalance-{plan.epoch}"
+        )
+        self.rebalance_reports.append(report)
+        self._note(report.summary())
 
     def _pick_block(self, event: CorruptBlock):
         k = self.ecfs.rs.k

@@ -56,6 +56,10 @@ class ScenarioSpec:
     log_unit_size: int = 128 * KiB
     n_files: int = 2
     stripes_per_file: int = 2
+    #: placement policy + failure-domain topology (repro.placement)
+    placement: str = "rotation"
+    osds_per_host: int = 1
+    hosts_per_rack: int = 4
     trace: str = "tencloud"
     n_ops: int = 150
     n_clients: int = 4
@@ -77,6 +81,9 @@ class ScenarioSpec:
             m=self.m,
             block_size=self.block_size,
             log_unit_size=self.log_unit_size,
+            placement_policy=self.placement,
+            osds_per_host=self.osds_per_host,
+            hosts_per_rack=self.hosts_per_rack,
             seed=seed,
         )
 
@@ -103,6 +110,11 @@ class ScenarioResult:
     wall_seconds: float = 0.0
     events: int = 0
     events_per_sec: float = 0.0
+    #: topology-event outcome: rebalance reports, final epoch, and the
+    #: collector's moved-bytes/time-to-balanced stats
+    rebalance_reports: list = field(default_factory=list)
+    epoch: int = 0
+    rebalance_stats: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = [
@@ -125,6 +137,15 @@ class ScenarioResult:
                 f"  scrub: {rep.stripes_checked} stripes, "
                 f"{len(rep.latent_errors)} latent errors, "
                 f"{len(rep.repaired)} repaired"
+            )
+        for rep in self.rebalance_reports:
+            lines.append(f"  {rep.summary()}")
+        if self.rebalance_reports:
+            stats = self.rebalance_stats
+            lines.append(
+                f"  rebalance totals: {stats.get('moved_bytes', 0) / 1e6:.1f} MB "
+                f"moved, time-to-balanced {stats.get('time_to_balanced', 0):.3f}s, "
+                f"final epoch {self.epoch}"
             )
         lines.append(f"  digest: {self.digest}")
         return "\n".join(lines)
@@ -203,4 +224,7 @@ class ScenarioRunner:
             wall_seconds=wall,
             events=ecfs.env.steps,
             events_per_sec=ecfs.env.steps / wall if wall > 0 else 0.0,
+            rebalance_reports=list(injector.rebalance_reports),
+            epoch=ecfs.placement.epoch,
+            rebalance_stats=ecfs.metrics.rebalance_stats(),
         )

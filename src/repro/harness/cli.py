@@ -66,16 +66,21 @@ def _run_scenario(args) -> int:
 def _run_sweep(args) -> int:
     # imported lazily so plain experiment runs stay light
     from repro.harness.runner import ExperimentConfig
-    from repro.harness.sweep import SweepExecutor, run_grid
+    from repro.harness.sweep import CellFailure, SweepExecutor, run_grid
     from repro.metrics.tables import format_table
 
-    executor = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir)
+    executor = SweepExecutor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cell_timeout=args.cell_timeout,
+        strict=False,  # report failed cells instead of aborting the sweep
+    )
     seeds = [int(s) for s in args.seeds.split(",") if s]
     if args.scenarios:
         names = [s for s in args.scenarios.split(",") if s]
         results = executor.run_scenarios(names, seeds)
         for res in results:
-            print(res.summary())
+            print(repr(res) if isinstance(res, CellFailure) else res.summary())
             print()
     else:
         methods = [s for s in args.methods.split(",") if s]
@@ -99,7 +104,12 @@ def _run_sweep(args) -> int:
             executor=executor,
         )
         rows = {
-            row: {col: res.iops for col, res in cols.items()}
+            row: {
+                col: (
+                    float("nan") if isinstance(res, CellFailure) else res.iops
+                )
+                for col, res in cols.items()
+            }
             for row, cols in grid.items()
         }
         print(
@@ -112,7 +122,91 @@ def _run_sweep(args) -> int:
     stats = executor.stats
     print(
         f"[sweep: {stats.cells} cells, {stats.cache_hits} cached, "
-        f"{stats.workers} workers, {stats.wall_seconds:.1f}s]"
+        f"{stats.workers} workers, {stats.retried} retried, "
+        f"{stats.failed} failed, {stats.wall_seconds:.1f}s]"
+    )
+    return 0
+
+
+def _run_topology(args) -> int:
+    """Static policy x event movement matrix, or a live elastic scenario."""
+    # imported lazily so plain experiment runs stay light
+    from repro.cluster.ids import BlockId
+    from repro.metrics.tables import format_table
+    from repro.placement import MigrationPlanner, Topology, make_policy
+
+    if args.live:
+        from repro.fault.runner import ScenarioRunner
+        from repro.fault.scenarios import get_scenario
+
+        name = f"topo-{args.event}-{args.policy}"
+        try:
+            spec = get_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        result = ScenarioRunner(spec).run(seed=args.seed)
+        print(result.summary())
+        stats = result.rebalance_stats
+        print(
+            f"[{name}: moved {stats.get('moved_bytes', 0) / 1e6:.1f} MB, "
+            f"time-to-balanced {stats.get('time_to_balanced', 0):.3f}s]"
+        )
+        return 0
+
+    k, m = args.k, args.m
+    width = k + m
+    n = args.osds
+    policies = [p for p in args.policies.split(",") if p]
+    events = [e for e in args.events.split(",") if e]
+    blocks = [
+        BlockId(f, s, i)
+        for f in range(1, args.files + 1)
+        for s in range(args.stripes)
+        for i in range(width)
+    ]
+
+    def build_topology() -> Topology:
+        return Topology.flat(
+            n, osds_per_host=args.osds_per_host, hosts_per_rack=args.hosts_per_rack
+        )
+
+    print(build_topology().describe())
+    print()
+    rows: dict[str, dict[str, float]] = {}
+    for policy_name in policies:
+        rows[policy_name] = {}
+        for event in events:
+            topo = build_topology()
+            try:
+                old = make_policy(policy_name, topo, k, m)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            if event == "join":
+                topo.add_osd(n, weight=1.0)
+            elif event == "decommission":
+                topo.remove_osd(n - 1)
+            elif event == "weight":
+                topo.set_weight(0, 0.5)
+            else:
+                print(f"unknown topology event {event!r}", file=sys.stderr)
+                return 2
+            plan = MigrationPlanner.plan(old.osd_of, make_policy(policy_name, topo, k, m), blocks)
+            rows[policy_name][event] = 100.0 * plan.fraction_moved
+    print(
+        format_table(
+            rows,
+            title=(
+                f"data moved by one topology event (% of {len(blocks)} blocks; "
+                f"RS({k},{m}) on {n} OSDs; minimal ~{100.0 / n:.1f}%)"
+            ),
+            floatfmt="{:.1f}",
+        )
+    )
+    print(
+        "[static planner diff - no simulation; run with --live "
+        "--policy crush --event join for a full DES scenario]"
     )
     return 0
 
@@ -126,10 +220,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario", "sweep"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario", "sweep", "topology"],
         help="artifact to regenerate ('all' runs everything, 'list' "
         "enumerates, 'scenario' runs the fault-injection harness, 'sweep' "
-        "runs a parallel scenario/experiment grid)",
+        "runs a parallel scenario/experiment grid, 'topology' analyzes "
+        "placement policies under elastic topology events)",
     )
     parser.add_argument(
         "name",
@@ -184,12 +279,50 @@ def main(argv: list[str] | None = None) -> int:
         help="content-addressed result cache directory (default: "
         "REPRO_CACHE_DIR or disabled)",
     )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock timeout in seconds (workers > 1): a cell "
+        "that hangs is killed, retried once, then reported as failed "
+        "(default: REPRO_CELL_TIMEOUT or disabled)",
+    )
+    topo = parser.add_argument_group("topology options")
+    topo.add_argument(
+        "--policies", default="rotation,crush", help="comma-separated policies"
+    )
+    topo.add_argument(
+        "--events",
+        default="join,decommission,weight",
+        help="comma-separated topology events for the movement matrix",
+    )
+    topo.add_argument("--osds", type=int, default=16)
+    topo.add_argument("--k", type=int, default=4)
+    topo.add_argument("--m", type=int, default=2)
+    topo.add_argument("--osds-per-host", type=int, default=1)
+    topo.add_argument("--hosts-per-rack", type=int, default=4)
+    topo.add_argument("--files", type=int, default=8)
+    topo.add_argument("--stripes", type=int, default=40)
+    topo.add_argument(
+        "--live",
+        action="store_true",
+        help="run the catalog scenario topo-<event>-<policy> on the DES "
+        "instead of the static planner matrix",
+    )
+    topo.add_argument(
+        "--policy", default="crush", help="with --live: placement policy"
+    )
+    topo.add_argument(
+        "--event", default="join", help="with --live: topology event"
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "scenario":
         return _run_scenario(args)
     if args.experiment == "sweep":
         return _run_sweep(args)
+    if args.experiment == "topology":
+        return _run_topology(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -15,19 +15,31 @@ Cache invalidation: the key hashes the *config*, not the code.  Any change
 to the engine or cluster model that alters results must bump
 :data:`CACHE_SCHEMA` (or the operator clears the cache directory).  The
 cache is opt-in — no ``cache_dir`` (and no ``REPRO_CACHE_DIR``) means
-every cell runs.
+every cell runs.  CI persists the cache between runs via ``actions/cache``
+keyed on :data:`CACHE_SCHEMA`, so only never-seen cells pay.
+
+Fault isolation: with ``workers > 1`` every cell runs in its own child
+process with an optional per-cell ``cell_timeout``.  A cell that hangs is
+terminated, a cell that dies is collected, and either is retried once
+(``retries``); a cell that still fails becomes a :class:`CellFailure` in
+the result list (``strict=False``) or raises after the whole sweep drained
+(``strict``, the default) — the pool itself never wedges.
 
 Environment knobs: ``REPRO_WORKERS`` (default worker count),
-``REPRO_CACHE_DIR`` (default cache directory).
+``REPRO_CACHE_DIR`` (default cache directory), ``REPRO_CELL_TIMEOUT``
+(default per-cell timeout, seconds).
 """
 
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
 import pickle
 import time
+from collections import deque
 from dataclasses import dataclass, fields
+from multiprocessing.connection import wait as _conn_wait
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.fault.digest import canonical as _canonical
@@ -38,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CellFailure",
     "SweepStats",
     "SweepExecutor",
     "config_key",
@@ -48,8 +61,10 @@ __all__ = [
 
 #: bump when a code change alters simulation results (engine semantics,
 #: cost model, trace generation) — cached cells from older schemas are
-#: then unreachable and simply re-run
-CACHE_SCHEMA = 1
+#: then unreachable and simply re-run.
+#: 2: epoch-aware placement (digests gained an epoch field; clients chase
+#:    mid-flight re-homes; rebuild targets avoid actual homes)
+CACHE_SCHEMA = 2
 
 
 def config_key(cfg: ExperimentConfig) -> str:
@@ -86,6 +101,32 @@ def _scenario_cell(args: tuple[str, int]) -> "ScenarioResult":
     return ScenarioRunner(get_scenario(name)).run(seed=seed)
 
 
+def _cell_entry(worker, cell, conn) -> None:  # pragma: no cover - child proc
+    """Child-process entry: run one cell, ship the outcome over the pipe."""
+    try:
+        conn.send(("ok", worker(cell)))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class CellFailure:
+    """A sweep cell that hung or died through every retry (``strict=False``
+    sweeps report these in place of results instead of raising)."""
+
+    key: str
+    error: str
+    attempts: int
+
+    def __repr__(self) -> str:  # keeps CLI tables readable
+        return f"<failed cell {self.key[:12]}: {self.error} ({self.attempts} attempts)>"
+
+
 @dataclass
 class SweepStats:
     """Accounting for the executor's last sweep."""
@@ -94,6 +135,9 @@ class SweepStats:
     cache_hits: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    retried: int = 0
+    timeouts: int = 0
+    failed: int = 0
 
 
 class SweepExecutor:
@@ -103,6 +147,9 @@ class SweepExecutor:
         self,
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        cell_timeout: Optional[float] = None,
+        retries: int = 1,
+        strict: bool = True,
     ) -> None:
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1"))
@@ -112,6 +159,16 @@ class SweepExecutor:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         self.cache_dir = cache_dir
+        if cell_timeout is None:
+            env_timeout = os.environ.get("REPRO_CELL_TIMEOUT")
+            cell_timeout = float(env_timeout) if env_timeout else None
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.cell_timeout = cell_timeout
+        self.retries = retries
+        self.strict = strict
         self.stats = SweepStats(workers=workers)
 
     # ------------------------------------------------------------- running
@@ -150,21 +207,108 @@ class SweepExecutor:
 
         if misses:
             if self.workers > 1 and len(misses) > 1:
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    for i, res in zip(
-                        misses, pool.map(worker, [cells[i] for i in misses])
-                    ):
-                        results[i] = res
+                self._run_pool(keys, cells, worker, misses, results)
             else:
-                for i in misses:
-                    results[i] = worker(cells[i])
+                self._run_serial(keys, cells, worker, misses, results)
             for i in misses:
-                self._cache_store(keys[i], results[i])
+                if not isinstance(results[i], CellFailure):
+                    self._cache_store(keys[i], results[i])
 
+        failures = [r for r in results if isinstance(r, CellFailure)]
+        self.stats.failed = len(failures)
         self.stats.wall_seconds = time.perf_counter() - t0
+        if failures and self.strict:
+            detail = "; ".join(f.error for f in failures[:3])
+            raise RuntimeError(
+                f"{len(failures)} sweep cell(s) failed after retries: {detail}"
+            )
         return results
+
+    def _run_serial(self, keys, cells, worker, misses, results) -> None:
+        """In-process execution (workers == 1 or a single miss): byte-
+        identical to a plain loop; dead cells retry, hangs are not
+        interruptible in-process (use workers > 1 for timeout enforcement)."""
+        for i in misses:
+            for attempt in range(self.retries + 1):
+                try:
+                    results[i] = worker(cells[i])
+                    break
+                except Exception as exc:  # noqa: BLE001 - isolate the cell
+                    if attempt < self.retries:
+                        self.stats.retried += 1
+                        continue
+                    results[i] = CellFailure(
+                        key=keys[i],
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt + 1,
+                    )
+
+    def _run_pool(self, keys, cells, worker, misses, results) -> None:
+        """One child process per cell, at most ``workers`` alive at once.
+
+        A cell that exceeds ``cell_timeout`` is terminated, one that dies is
+        collected from its pipe EOF; both re-queue until their retry budget
+        is spent, then land as :class:`CellFailure` — a bad cell can never
+        wedge the rest of the sweep.
+        """
+        pending = deque((i, 0) for i in misses)
+        running: dict = {}  # conn -> (cell idx, attempt, process, deadline)
+
+        def finish(i: int, attempt: int, error: Optional[str]) -> None:
+            if error is None:
+                return
+            if attempt < self.retries:
+                self.stats.retried += 1
+                pending.append((i, attempt + 1))
+            else:
+                results[i] = CellFailure(
+                    key=keys[i], error=error, attempts=attempt + 1
+                )
+
+        while pending or running:
+            while pending and len(running) < self.workers:
+                i, attempt = pending.popleft()
+                recv, send = multiprocessing.Pipe(duplex=False)
+                proc = multiprocessing.Process(
+                    target=_cell_entry, args=(worker, cells[i], send), daemon=True
+                )
+                proc.start()
+                send.close()
+                deadline = (
+                    None
+                    if self.cell_timeout is None
+                    else time.monotonic() + self.cell_timeout
+                )
+                running[recv] = (i, attempt, proc, deadline)
+
+            deadlines = [d for *_ignored, d in running.values() if d is not None]
+            wait_for = (
+                max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+            )
+            ready = _conn_wait(list(running), timeout=wait_for)
+            for conn in ready:
+                i, attempt, proc, _deadline = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    status, payload = "err", f"worker died (exit {proc.exitcode})"
+                conn.close()
+                proc.join()
+                if status == "ok":
+                    results[i] = payload
+                else:
+                    finish(i, attempt, payload)
+            now = time.monotonic()
+            for conn, (i, attempt, proc, deadline) in list(running.items()):
+                if deadline is not None and now >= deadline:
+                    del running[conn]
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    self.stats.timeouts += 1
+                    finish(
+                        i, attempt, f"timed out after {self.cell_timeout:g}s"
+                    )
 
     # ------------------------------------------------------------- caching
     def _cache_path(self, key: str) -> Optional[str]:

@@ -32,6 +32,9 @@ class MetricsCollector:
         self.env = env
         self.updates = _OpSeries()
         self.reads = _OpSeries()
+        #: background migration moves (epoch rebalances); "latency" slots
+        #: hold 0 — the interesting dimensions are bytes and completion times
+        self.rebalance = _OpSeries()
 
     # ------------------------------------------------------------- recording
     def record_update(self, latency: float, size: int) -> None:
@@ -39,6 +42,10 @@ class MetricsCollector:
 
     def record_read(self, latency: float, size: int) -> None:
         self.reads.record(self.env.now, latency, size)
+
+    def record_rebalance(self, size: int) -> None:
+        """One completed migration move of ``size`` bytes."""
+        self.rebalance.record(self.env.now, 0.0, size)
 
     # -------------------------------------------------------------- analysis
     def aggregate_iops(self, kind: str = "updates") -> float:
@@ -74,6 +81,29 @@ class MetricsCollector:
             "p99": float(np.percentile(lat, 99)),
             "max": float(lat.max()),
         }
+
+    def rebalance_stats(self) -> dict[str, float]:
+        """Moved bytes/blocks and time-to-balanced of epoch rebalances —
+        the span from the first to the last committed move this run."""
+        series = self.rebalance
+        span = series.times[-1] - series.times[0] if series.count > 1 else 0.0
+        return {
+            "moved_blocks": float(series.count),
+            "moved_bytes": float(series.bytes),
+            "time_to_balanced": span,
+            "bandwidth": series.bytes / span if span > 0 else 0.0,
+        }
+
+    @staticmethod
+    def tail_imbalance(loads) -> float:
+        """Max-over-mean of a per-target load distribution (1.0 = flat).
+        Cluster-level callers normalize by device weight first (see
+        :meth:`ECFS.tail_imbalance`)."""
+        loads = list(loads)
+        if not loads:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 0.0
 
     def throughput_bytes(self, kind: str = "updates") -> float:
         series = getattr(self, kind)

@@ -1,0 +1,204 @@
+"""Background rebalancer: executes a migration plan while traffic flows.
+
+One DES process per worker drains the plan's move queue.  Each move charges
+the real I/O and network cost of shipping the block, then waits for the
+stripe to settle (no in-flight update, no unsettled parity delta, not
+frozen), freezes the stripe for the capture -> commit window — exactly the
+recovery discipline — copies the bytes to the destination, and commits the
+new home through :meth:`PlacementMap.commit_move`.  Clients that resolved
+the old home mid-flight chase the remap (see ``Client.update``).
+
+A global bandwidth cap throttles the fleet of workers together: moves
+reserve their slot on a shared token timeline, so a cap of B bytes/sec is
+honoured regardless of worker parallelism.  The source copy is left in
+place until the node is retired — an in-flight read that resolved the old
+home sees the (at worst slightly stale) old bytes rather than a hole,
+matching how production migrations double-serve during a transfer window.
+
+Known limitation: replica-log content written under an earlier epoch stays
+on the old replica node; a crash *during* a rebalance therefore replays
+from wherever the replica lived when the update was logged.  The catalog's
+topology scenarios keep crashes and rebalances in separate runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.placement.planner import MigrationPlan
+from repro.storage.base import IOKind, IOPriority
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a package cycle)
+    from repro.cluster.ecfs import ECFS
+    from repro.cluster.ids import BlockId
+
+__all__ = ["RebalanceReport", "Rebalancer"]
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of executing one migration plan."""
+
+    epoch: int
+    planned: int
+    moved_blocks: int
+    moved_bytes: int
+    skipped: int
+    seconds: float
+    imbalance_before: float
+    imbalance_after: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved migration throughput in bytes/second."""
+        return self.moved_bytes / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"rebalance epoch {self.epoch}: {self.moved_blocks}/{self.planned} "
+            f"blocks ({self.moved_bytes / 1e6:.1f} MB) in {self.seconds:.3f}s, "
+            f"tail imbalance {self.imbalance_before:.2f} -> "
+            f"{self.imbalance_after:.2f}"
+        )
+
+
+class Rebalancer:
+    """Migrates blocks to their new epoch homes at a bandwidth cap."""
+
+    def __init__(
+        self,
+        ecfs: "ECFS",
+        bandwidth_cap: Optional[float] = None,
+        parallel: int = 2,
+    ) -> None:
+        if bandwidth_cap is not None and bandwidth_cap <= 0:
+            raise ValueError("bandwidth_cap must be positive (or None)")
+        self.ecfs = ecfs
+        self.bandwidth_cap = bandwidth_cap
+        self.parallel = max(1, parallel)
+        self.moved_blocks = 0
+        self.moved_bytes = 0
+        self.skipped = 0
+        # shared token timeline: the instant the capped bandwidth frees up
+        self._bw_free_at = 0.0
+
+    # ------------------------------------------------------------------ API
+    def run(self, plan: MigrationPlan) -> Generator:
+        """Process: execute ``plan``; returns a :class:`RebalanceReport`."""
+        ecfs = self.ecfs
+        env = ecfs.env
+        t0 = env.now
+        before = ecfs.tail_imbalance()
+        self._bw_free_at = t0
+        queue = list(reversed(plan.moves))  # pop() drains in sorted order
+        workers = [
+            env.process(self._worker(queue), name=f"rebal-w{i}")
+            for i in range(self.parallel)
+        ]
+        if workers:
+            yield env.all_of(workers)
+        report = RebalanceReport(
+            epoch=plan.epoch,
+            planned=len(plan.moves),
+            moved_blocks=self.moved_blocks,
+            moved_bytes=self.moved_bytes,
+            skipped=self.skipped,
+            seconds=env.now - t0,
+            imbalance_before=before,
+            imbalance_after=ecfs.tail_imbalance(),
+        )
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _worker(self, queue: list) -> Generator:
+        from repro.common.errors import IntegrityError
+
+        ecfs = self.ecfs
+        env = ecfs.env
+        while queue:
+            op = queue.pop()
+            try:
+                yield from self._move(op.block, op.dst)
+            except IntegrityError:
+                # a node died mid-move: leave the block to recovery (the
+                # remap entry keeps pointing at wherever it actually is)
+                self.skipped += 1
+                yield env.timeout(0)
+
+    def _throttle(self, nbytes: int) -> Generator:
+        """Reserve ``nbytes`` on the shared bandwidth timeline."""
+        env = self.ecfs.env
+        if self.bandwidth_cap is None:
+            return
+        start = max(env.now, self._bw_free_at)
+        self._bw_free_at = start + nbytes / self.bandwidth_cap
+        if start > env.now:
+            yield env.timeout_at(start)
+
+    def _move(self, block: BlockId, dst: int) -> Generator:
+        ecfs = self.ecfs
+        env = ecfs.env
+        bs = ecfs.config.block_size
+        src_idx = ecfs.placement.home_of(block)
+        if src_idx == dst or ecfs.osds[dst].failed:
+            self.skipped += 1
+            return
+        src = ecfs.osds[src_idx]
+        if src.failed:
+            # the source died before we got to it: this block is recovery's
+            # problem (rebuild re-homes it), not a migration
+            self.skipped += 1
+            return
+
+        yield from self._throttle(bs)
+        # charge the shipping cost up front (background priority); the bytes
+        # themselves are captured atomically under the freeze below
+        yield from src.io_block(
+            IOKind.READ, block, 0, bs, IOPriority.BACKGROUND, tag="rebalance"
+        )
+        yield from ecfs.net.transfer(
+            src.name, ecfs.osds[dst].name, bs + ecfs.config.header_bytes
+        )
+
+        # settle: the shared reconstruction discipline, plus the block-clean
+        # condition only migration needs — no log content on the source
+        # addressed to this block (TSUE DataLog defers the in-place write;
+        # copying the base would lose it)
+        key = (block.file_id, block.stripe)
+        yield from ecfs.settle_stripe(
+            block.file_id,
+            block.stripe,
+            extra_blocked=lambda: ecfs.method.block_unsettled(src, block),
+        )
+        ecfs.freeze_stripe(*key)
+        try:
+            if ecfs.placement.home_of(block) != src_idx:
+                # re-homed while we waited (an overlapping recovery): the
+                # remap already reflects reality — drop this move
+                self.skipped += 1
+                return
+            if src.failed:
+                self.skipped += 1
+                return
+            data = (
+                src.store.read(block)
+                if block in src.store
+                else np.zeros(bs, dtype=np.uint8)
+            )
+            dosd = ecfs.osds[dst]
+            yield from dosd.io_block(
+                IOKind.WRITE, block, 0, bs, IOPriority.BACKGROUND, tag="rebalance"
+            )
+            if block in dosd.store:
+                dosd.store.write(block, 0, data)
+            else:
+                dosd.store.create(block, data, own=True)
+            ecfs.placement.commit_move(block, dst)
+            self.moved_blocks += 1
+            self.moved_bytes += bs
+            ecfs.metrics.record_rebalance(bs)
+        finally:
+            ecfs.thaw_stripe(*key)

@@ -95,6 +95,15 @@ class UpdateMethod:
         NOT be reported."""
         return set(self._busy_stripes)
 
+    def block_unsettled(self, osd: OSD, block: BlockId) -> bool:
+        """True when ``osd`` holds log/buffer content addressed to ``block``
+        that an in-place copy of the block would miss — i.e. a migration off
+        ``osd`` must flush first.  Methods whose logs defer the in-place
+        data write (TSUE's DataLog) override this; methods that apply data
+        in place (or resolve their logs through ``osd_hosting`` at flush
+        time, like FL) are covered by :meth:`unsettled_stripes` already."""
+        return False
+
     def _resync_eligible(self, pbid: BlockId) -> bool:
         """A marked row is repairable iff its own host and every data host
         are reachable."""
@@ -207,6 +216,12 @@ class UpdateMethod:
         from up-to-date data, so those deltas are subsumed); TSUE instead
         stashes the victim's DataLog/DeltaLog content for replica replay.
         """
+
+    def on_node_joined(self, osd: OSD) -> None:
+        """A brand-new node joined the cluster (elastic growth): create its
+        per-OSD state.  Methods with background machinery also start it
+        (TSUE overrides to spawn the node's recyclers)."""
+        self.attach(osd)
 
     def on_node_restarted(self, osd: OSD) -> None:
         """A transiently-down node came back with its contents intact (no

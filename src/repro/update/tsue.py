@@ -177,9 +177,18 @@ class TSUE(UpdateMethod):
 
     def start_background(self) -> None:
         for osd in self.ecfs.osds:
-            for layer in _LAYERS:
-                for p, pool in enumerate(self.pools[osd.name][layer]):
-                    self._spawn_recycler(osd, layer, p, pool)
+            self._start_background_for(osd)
+
+    def _start_background_for(self, osd: OSD) -> None:
+        for layer in _LAYERS:
+            for p, pool in enumerate(self.pools[osd.name][layer]):
+                self._spawn_recycler(osd, layer, p, pool)
+
+    def on_node_joined(self, osd: OSD) -> None:
+        """Elastic join: build the node's log pools and start its recyclers
+        (the cluster-wide :meth:`start_background` already ran)."""
+        self.attach(osd)
+        self._start_background_for(osd)
 
     def _spawn_recycler(self, osd: OSD, layer: str, pidx: int, pool: LogPool) -> None:
         recycler_of = {
@@ -222,10 +231,11 @@ class TSUE(UpdateMethod):
         yield from osd.io_log_append(stream, op.size, tag="tsue-datalog")
 
     def _replicate(self, osd: OSD, op: UpdateOp, r: int) -> Generator:
-        rep_idx = (self.ecfs.placement.replica_osd(op.block) + r) % self.ecfs.config.n_osds
+        n_osds = len(self.ecfs.osds)
+        rep_idx = (self.ecfs.placement.replica_osd(op.block) + r) % n_osds
         rep = self.ecfs.osds[rep_idx]
         if rep.failed:
-            rep = self.ecfs.osds[(rep_idx + 1) % self.ecfs.config.n_osds]
+            rep = self.ecfs.osds[(rep_idx + 1) % n_osds]
         yield from self.forward(osd, rep, op.size)
         # replica is persisted to SSD only — no memory index (§4.1)
         yield from rep.io_log_append("datalog-rep", op.size, tag="tsue-datalog-rep")
@@ -796,6 +806,25 @@ class TSUE(UpdateMethod):
         for _token, pbid, _offset, _pdelta in self._stash_delta:
             out.add((pbid.file_id, pbid.stripe))
         return out
+
+    def block_unsettled(self, osd: OSD, block: BlockId) -> bool:
+        """Unrecycled DataLog records defer the in-place data write, so a
+        migration copying the base block off ``osd`` would lose them (the
+        recycle applies them to whichever store the *log* lives on).  Any
+        live unit on any layer holding content for ``block`` blocks the
+        move until a flush settles it."""
+        layers = self.pools.get(osd.name)
+        if not layers:
+            return False
+        for pools in layers.values():
+            for pool in pools:
+                for unit in pool.units:
+                    if not unit.used or unit.state is LogUnitState.RECYCLED:
+                        continue
+                    for key in unit.index.blocks():
+                        if self._real_block(key) == block:
+                            return True
+        return False
 
     # ------------------------------------------------------------- metrics
     def log_debt_bytes(self, osd: OSD) -> int:

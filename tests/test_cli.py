@@ -23,6 +23,25 @@ def test_fig1_via_cli(capsys):
     assert "TSUE" in out
 
 
+def test_topology_matrix_via_cli(capsys):
+    assert main(["topology", "--files", "4", "--stripes", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "rack0" in out  # topology tree
+    assert "rotation" in out and "crush" in out
+    assert "data moved by one topology event" in out
+
+
+def test_topology_live_via_cli(capsys):
+    assert main(["topology", "--live", "--policy", "crush", "--event", "join"]) == 0
+    out = capsys.readouterr().out
+    assert "rebalance epoch 1" in out
+    assert "time-to-balanced" in out
+
+
+def test_topology_live_unknown_combo(capsys):
+    assert main(["topology", "--live", "--policy", "bogus"]) == 2
+
+
 def test_scale_flag_sets_env(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_SCALE", raising=False)
     assert main(["fig1", "--scale", "quick"]) == 0

@@ -233,7 +233,7 @@ def test_rebuild_refuses_corrupted_sources():
     # the rebuilt blocks are byte-correct despite the corrupted neighbour
     import numpy as np
 
-    for block, new_home in ecfs._placement_override.items():
+    for block, new_home in ecfs.placement.remapped.items():
         if block.idx < ecfs.rs.k:
             got = ecfs.osds[new_home].store.view(block)
             assert np.array_equal(got, ecfs.oracle.expected(block))

@@ -36,7 +36,7 @@ def test_recovered_blocks_are_byte_correct(method):
     )
     # every rebuilt block must match the oracle / re-encode
     ecfs.drain()
-    for block, new_home in ecfs._placement_override.items():
+    for block, new_home in ecfs.placement.remapped.items():
         osd = ecfs.osds[new_home]
         got = osd.store.view(block)
         if block.idx < ecfs.rs.k:
@@ -89,7 +89,7 @@ def test_failed_node_not_used_as_source():
     ecfs.populate(n_files=1, stripes_per_file=2, fill="random")
     report = ecfs.env.run(ecfs.env.process(manager.fail_and_recover(3)))
     assert ecfs.osds[3].failed
-    for block in ecfs._placement_override.values():
+    for block in ecfs.placement.remapped.values():
         assert block != 3
 
 

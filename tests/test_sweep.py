@@ -1,17 +1,29 @@
-"""Sweep executor: parallel == serial, content-addressed cache, CLI smoke."""
+"""Sweep executor: parallel == serial, content-addressed cache, per-cell
+timeout + retry fault isolation, CLI smoke."""
 
 import os
+import time
 
 import pytest
 
 from repro.harness.cli import main
 from repro.harness.runner import ExperimentConfig
 from repro.harness.sweep import (
+    CellFailure,
     SweepExecutor,
     config_key,
     run_cells,
     scenario_key,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolate_sweep_env(monkeypatch):
+    """Executor behavior under test must not depend on ambient knobs (CI
+    exports REPRO_CACHE_DIR so figure sweeps reuse cells — that would make
+    the parallel==serial assertions vacuous cache hits here)."""
+    for var in ("REPRO_WORKERS", "REPRO_CACHE_DIR", "REPRO_CELL_TIMEOUT"):
+        monkeypatch.delenv(var, raising=False)
 
 
 def _cells(n_ops: int = 120) -> list[ExperimentConfig]:
@@ -111,11 +123,102 @@ def test_scenario_sweep_parallel_equals_serial():
 def test_workers_validation():
     with pytest.raises(ValueError):
         SweepExecutor(workers=0)
+    with pytest.raises(ValueError):
+        SweepExecutor(cell_timeout=0)
+    with pytest.raises(ValueError):
+        SweepExecutor(retries=-1)
 
 
-def test_run_cells_defaults_from_env(monkeypatch):
-    monkeypatch.delenv("REPRO_WORKERS", raising=False)
-    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+# -------------------------------------------- per-cell timeout + retry
+# Module-level cell workers so child processes can run them.
+def _sleep_cell(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _crash_cell(arg):
+    raise RuntimeError(f"cell exploded on {arg}")
+
+
+def _flaky_cell(sentinel_path: str) -> str:
+    """Fails on the first attempt (cross-process: a file records it)."""
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("first attempt fails")
+    return "ok"
+
+
+def test_hung_cell_is_killed_retried_and_reported():
+    """A hanging cell must not wedge the pool: it is terminated at the
+    timeout, retried once, then reported as a failed cell while healthy
+    cells complete normally."""
+    ex = SweepExecutor(workers=2, cell_timeout=0.25, strict=False)
+    t0 = time.monotonic()
+    results = ex._run(["hang", "fine"], [30.0, 0.01], _sleep_cell)
+    wall = time.monotonic() - t0
+    assert wall < 10  # two 0.25s timeouts, not a 30s hang
+    assert isinstance(results[0], CellFailure)
+    assert "timed out" in results[0].error
+    assert results[0].attempts == 2
+    assert results[1] == 0.01
+    assert ex.stats.timeouts == 2
+    assert ex.stats.retried == 1
+    assert ex.stats.failed == 1
+
+
+def test_crashing_cell_is_retried_then_reported():
+    ex = SweepExecutor(workers=2, strict=False)
+    results = ex._run(["a", "b"], ["boom", 0.01], _mixed_cell)
+    assert isinstance(results[0], CellFailure)
+    assert "exploded" in results[0].error
+    assert results[1] == 0.01
+    assert ex.stats.retried == 1
+    assert ex.stats.failed == 1
+
+
+def _mixed_cell(arg):
+    if isinstance(arg, str):
+        return _crash_cell(arg)
+    return _sleep_cell(arg)
+
+
+def test_flaky_cell_succeeds_on_retry(tmp_path):
+    sentinel = str(tmp_path / "flaky.sentinel")
+    ex = SweepExecutor(workers=2, strict=False)
+    results = ex._run(
+        ["flaky", "also"],
+        [sentinel, str(tmp_path / "other.sentinel")],
+        _flaky_cell,
+    )
+    assert results == ["ok", "ok"]
+    assert ex.stats.retried == 2
+    assert ex.stats.failed == 0
+
+
+def test_strict_sweep_raises_after_retries():
+    ex = SweepExecutor(workers=1, strict=True)
+    with pytest.raises(RuntimeError, match="failed after retries"):
+        ex._run(["a"], ["boom"], _crash_cell)
+    assert ex.stats.retried == 1
+
+
+def test_serial_retry_isolates_dead_cells():
+    ex = SweepExecutor(workers=1, strict=False, retries=1)
+    results = ex._run(["a", "b"], ["boom", 0.0], _mixed_cell)
+    assert isinstance(results[0], CellFailure)
+    assert results[0].attempts == 2
+    assert results[1] == 0.0
+
+
+def test_failed_cells_are_not_cached(tmp_path):
+    ex = SweepExecutor(workers=1, strict=False, cache_dir=str(tmp_path))
+    ex._run(["a"], ["boom"], _crash_cell)
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_run_cells_defaults_from_env():
+    # the autouse fixture cleared REPRO_WORKERS / REPRO_CACHE_DIR
     results = run_cells(_cells()[:1])
     assert results[0].iops > 0
     assert results[0].perf["events"] > 0
