@@ -7,7 +7,10 @@ artifact by the nightly job), recording
 * **engine** — wall-clock, DES events, and events/sec of the profiled
   1500-op TSUE experiment, against the recorded seed-engine baseline;
 * **sweep** — wall-clock of a 4-cell Fig. 5 grid run serially, through the
-  process pool, and from a warm content-addressed cache.
+  process pool, and from a warm content-addressed cache;
+* **frontend** — per-class p99 latency and availability of the QoS x fault
+  SLO grid (slo-qos-crash), so front-end service levels are tracked
+  nightly alongside raw engine throughput.
 
 Assertions encode the perf bar:
 
@@ -174,3 +177,40 @@ def test_sweep_executor_speedup(tmp_path):
         )
     # below 4 CPUs a process pool cannot hit the bar by construction; the
     # measurement is recorded in BENCH_engine.json either way
+
+
+def test_frontend_slo_bench():
+    """Track the front-end's service levels: per-class p99 + availability
+    of the crash cell of the SLO grid land in BENCH_engine.json nightly."""
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import get_scenario
+
+    result = ScenarioRunner(get_scenario("slo-qos-crash")).run(seed=2025)
+    per_class = {
+        who.split("/")[1]: {
+            "p99_ms": stats["p99"] * 1e3,
+            "p999_ms": stats["p999"] * 1e3,
+            "availability": stats["availability"],
+            "goodput": stats["goodput"],
+            "error_budget": stats["error_budget"],
+        }
+        for who, stats in result.slo.items()
+    }
+    _append_bench(
+        {
+            "bench": "frontend",
+            "timestamp": time.time(),
+            "scenario": "slo-qos-crash",
+            "digest": result.digest,
+            "classes": per_class,
+            "retries": result.frontend_stats["retries"],
+            "hedges": result.frontend_stats["hedges"],
+            "shed": result.frontend_stats["shed"],
+        }
+    )
+    # the availability floor is the scenario's own invariant; here we only
+    # pin that the grid served every class and the numbers are sane
+    assert set(per_class) == {"gold", "silver", "bronze"}
+    for qos, stats in per_class.items():
+        assert 0.0 < stats["availability"] <= 1.0, qos
+        assert stats["p99_ms"] > 0.0, qos

@@ -1,14 +1,24 @@
-"""Client: POSIX-ish front end — encoding writes, routed updates, reads."""
+"""Client: POSIX-ish front end — encoding writes, routed updates, reads.
+
+This is the seed-compatible *thin shim* over the front-end request path:
+op construction (ids, payload RNG streams) lives here, while the actual
+dispatch generators — primary routing, remap chasing, freeze waits,
+degraded fallback — live in :mod:`repro.frontend.ops` and are shared with
+the QoS-aware :class:`~repro.frontend.dispatcher.FrontEnd` pipeline.  The
+shim adds no simulation events of its own, so figure/table runs driven
+through ``Client`` are byte-identical to the pre-refactor tree.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
 from repro.cluster.ids import BlockId
 from repro.common.errors import IntegrityError
+from repro.frontend import ops as _ops
 from repro.storage.base import IOKind, IOPriority
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,12 +59,16 @@ class Client:
     # --------------------------------------------------------------- update
     def update(self, file_id: int, offset: int, size: int) -> Generator:
         """Process: one update request, returns (latency seconds)."""
+        op = self.make_update_op(file_id, offset, size)
+        return (yield from _ops.execute_update(self.ecfs, self.name, op))
+
+    def make_update_op(self, file_id: int, offset: int, size: int) -> UpdateOp:
+        """Construct the op one dispatch attempt executes (each attempt gets
+        its own op id and payload draw from this client's RNG stream)."""
         ecfs = self.ecfs
-        block, in_off = ecfs.mds.locate(file_id, offset, ecfs.rs.k)
-        if in_off + size > ecfs.config.block_size:
-            size = ecfs.config.block_size - in_off  # clamp at block boundary
+        block, in_off, size = _ops.locate_clamped(ecfs, file_id, offset, size)
         payload = self._payload_rng.integers(0, 256, size, dtype=np.uint8)
-        op = UpdateOp(
+        return UpdateOp(
             op_id=self._next_op(),
             block=block,
             offset=in_off,
@@ -62,38 +76,6 @@ class Client:
             issued_at=self.env.now,
             client=self.name,
         )
-        # reconstruction may hold the stripe frozen (capture -> re-home);
-        # updates wait so their parity deltas cannot race the re-home
-        # (cheap pre-check: avoids a waiter generator on the common path)
-        if ecfs.stripe_frozen(block.file_id, block.stripe):
-            yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
-        primary = ecfs.osd_hosting(block)
-        hdr = ecfs.config.header_bytes
-        yield from ecfs.net.transfer(self.name, primary.name, size + hdr)
-        # an epoch remap (rebalance move, recovery re-home) can change the
-        # block's home while the request is in flight: chase the redirect
-        # like a real client retrying on wrong-primary.  Zero-cost on the
-        # common path — the loop body only runs if the home actually moved
-        # or the stripe froze under us.
-        while True:
-            if ecfs.stripe_frozen(block.file_id, block.stripe):
-                yield from ecfs.wait_stripe_thaw(block.file_id, block.stripe)
-            current = ecfs.osd_hosting(block)
-            if current is primary:
-                break
-            yield from ecfs.net.transfer(primary.name, current.name, size + hdr)
-            primary = current
-        ecfs.note_update_begin(block)
-        try:
-            yield self.env.process(
-                ecfs.method.handle_update(primary, op), name=f"upd{op.op_id}"
-            )
-        finally:
-            ecfs.note_update_end(block)
-        yield from ecfs.net.transfer(primary.name, self.name, ecfs.config.ack_bytes)
-        latency = self.env.now - op.issued_at
-        ecfs.metrics.record_update(latency, size)
-        return latency
 
     # ----------------------------------------------------------------- read
     def read(self, file_id: int, offset: int, size: int) -> Generator:
@@ -102,36 +84,9 @@ class Client:
         If the block's home OSD is down, falls back to a degraded read
         (on-the-fly decode from k survivors).
         """
-        ecfs = self.ecfs
-        block, in_off = ecfs.mds.locate(file_id, offset, ecfs.rs.k)
-        if in_off + size > ecfs.config.block_size:
-            size = ecfs.config.block_size - in_off
-        t0 = self.env.now
-        primary = ecfs.osd_hosting(block)
-        hdr = ecfs.config.header_bytes
-        if primary.failed:
-            from repro.cluster.degraded import degraded_read
-
-            data = yield self.env.process(
-                degraded_read(ecfs, block, in_off, size, self.name),
-                name=f"{self.name}-degraded",
-            )
-            ecfs.metrics.record_read(self.env.now - t0, size)
-            return data
-        yield from ecfs.net.transfer(self.name, primary.name, hdr)
-        # chase epoch remaps that landed while the request was in flight
-        while True:
-            current = ecfs.osd_hosting(block)
-            if current is primary:
-                break
-            yield from ecfs.net.transfer(primary.name, current.name, hdr)
-            primary = current
-        data = yield self.env.process(
-            ecfs.method.handle_read(primary, block, in_off, size)
+        return (
+            yield from _ops.execute_read(self.ecfs, self.name, file_id, offset, size)
         )
-        yield from ecfs.net.transfer(primary.name, self.name, size + hdr)
-        ecfs.metrics.record_read(self.env.now - t0, size)
-        return data
 
     # --------------------------------------------------------- normal write
     def write_stripe(

@@ -38,7 +38,12 @@ def degraded_read(
         if i == block.idx:
             continue
         sid = BlockId(block.file_id, block.stripe, i)
-        if not ecfs.osd_hosting(sid).failed:
+        host = ecfs.osd_hosting(sid)
+        # a survivor must be alive AND reachable from the requester: a
+        # partitioned (not failed) host would park the fetch until the
+        # heal, which defeats the point of reconstructing around it —
+        # this is what lets a hedged read dodge a network cut
+        if not host.failed and ecfs.net.reachable(requester, host.name):
             sources.append(sid)
         if len(sources) == rs.k:
             break

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Hashable
 
-from repro.common.errors import IntegrityError
+from repro.common.errors import IntegrityError, UnavailableError
 from repro.sim import Environment, Resource
 from repro.storage.base import IOKind, IOPriority, IORequest, StorageDevice
 from repro.storage.blockstore import BlockStore
@@ -169,7 +169,7 @@ class OSD:
 
     def _check_alive(self) -> None:
         if self.failed:
-            raise IntegrityError(f"{self.name} has failed")
+            raise UnavailableError(f"{self.name} has failed")
 
     def __repr__(self) -> str:
         return f"<OSD {self.name} blocks={len(self.store)}>"

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "ConfigError", "DecodeError", "IntegrityError"]
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "DecodeError",
+    "IntegrityError",
+    "UnavailableError",
+    "is_retryable",
+]
 
 
 class ReproError(Exception):
@@ -14,8 +21,27 @@ class ConfigError(ReproError, ValueError):
 
 
 class DecodeError(ReproError):
-    """Erasure decoding impossible (too many erasures / singular matrix)."""
+    """Erasure decoding impossible (too many erasures / singular matrix).
+
+    Retryable from a client's point of view: erasures heal (recovery
+    rebuilds, partitions mend), after which the same decode succeeds.
+    """
 
 
 class IntegrityError(ReproError):
     """A consistency check failed (stripe does not verify, stale data...)."""
+
+
+class UnavailableError(IntegrityError):
+    """A node/service the request needs is currently down.
+
+    Subclasses :class:`IntegrityError` so every existing ``except
+    IntegrityError`` fault-tolerance path still catches it, while letting
+    the front-end retry layer distinguish *transient* unavailability
+    (retry after backoff — recovery or a restart heals it) from a true
+    consistency violation (fatal)."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the front-end may retry the request after this failure."""
+    return isinstance(exc, (UnavailableError, DecodeError))

@@ -20,7 +20,7 @@ from typing import Generator, Hashable, Optional
 
 import numpy as np
 
-from repro.common.errors import ConfigError, IntegrityError
+from repro.common.errors import ConfigError, IntegrityError, UnavailableError
 from repro.core.intervals import MergePolicy
 from repro.core.logunit import LogUnit, LogUnitState
 from repro.sim import Environment, Event, Store
@@ -87,7 +87,7 @@ class LogPool:
                 f"record of {nbytes}B exceeds unit size {self.unit_size}B"
             )
         if self._dead:
-            raise IntegrityError(f"log pool {self.name} is on a failed node")
+            raise UnavailableError(f"log pool {self.name} is on a failed node")
         # The active pointer may reference a SEALED unit when the quota was
         # exhausted (acquire failed); state must be checked alongside space
         # or a smaller record could sneak into a RECYCLABLE unit.
@@ -105,7 +105,7 @@ class LogPool:
                 yield waiter
                 self.stall_time += self.env.now - t0
                 if self._dead:
-                    raise IntegrityError(
+                    raise UnavailableError(
                         f"log pool {self.name} died while an append waited"
                     )
         self.active.append(block, offset, data, self.env.now)

@@ -32,7 +32,7 @@ from repro.fault.events import FaultSchedule
 from repro.fault.injector import FaultInjector
 from repro.harness.runner import resolve_trace
 from repro.traces.replayer import TraceReplayer
-from repro.traces.synthetic import generate_trace
+from repro.harness.prefix import cached_trace, populate_cached
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -67,6 +67,15 @@ class ScenarioSpec:
     hb_interval: float = 0.5
     hb_timeout: float = 1.6
     method_options: dict[str, Any] = field(default_factory=dict)
+    #: front-end mode: replace the closed-loop replay with the QoS-aware
+    #: pipeline (repro.frontend) driving per-tenant open-loop arrivals; the
+    #: result then carries per-tenant/per-class SLO metrics and a windowed
+    #: availability/latency time series
+    frontend: bool = False
+    tenants: tuple = ()  # TenantSpecs (repro.traces.replayer) when frontend
+    hedge_delay: float | None = 0.02
+    max_inflight: int = 16
+    slo_window: float = 0.05  # series bucket width (simulated seconds)
     #: builds the fault schedule (specs are reusable: a fresh schedule per run)
     build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
         default=lambda spec: FaultSchedule()
@@ -115,6 +124,12 @@ class ScenarioResult:
     rebalance_reports: list = field(default_factory=list)
     epoch: int = 0
     rebalance_stats: dict = field(default_factory=dict)
+    #: front-end outcome (``spec.frontend`` runs): per-tenant/class SLO
+    #: aggregates, the windowed availability/p99 series, and the pipeline's
+    #: shed/retry/hedge accounting — all folded into the canonical digest
+    slo: dict = field(default_factory=dict)
+    slo_series: dict = field(default_factory=dict)
+    frontend_stats: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = [
@@ -140,6 +155,16 @@ class ScenarioResult:
             )
         for rep in self.rebalance_reports:
             lines.append(f"  {rep.summary()}")
+        for who, stats in self.slo.items():
+            lines.append(
+                f"  slo {who}: p50 {stats['p50'] * 1e3:.2f}ms "
+                f"p99 {stats['p99'] * 1e3:.2f}ms p999 {stats['p999'] * 1e3:.2f}ms "
+                f"avail {stats['availability']:.4f} "
+                f"goodput {stats['goodput']:.0f}/s "
+                f"budget {stats['error_budget']:.2f} "
+                f"(shed {stats['shed']:.0f}, retries {stats['retries']:.0f}, "
+                f"hedges {stats['hedges']:.0f})"
+            )
         if self.rebalance_reports:
             stats = self.rebalance_stats
             lines.append(
@@ -167,10 +192,8 @@ class ScenarioRunner:
             method=spec.method,
             method_options=dict(spec.method_options),
         )
-        files = ecfs.populate(
-            n_files=spec.n_files,
-            stripes_per_file=spec.stripes_per_file,
-            fill="random",
+        files = populate_cached(
+            ecfs, spec.n_files, spec.stripes_per_file, fill="random"
         )
         heartbeat: Optional[HeartbeatService] = None
         if spec.heartbeat:
@@ -182,18 +205,48 @@ class ScenarioRunner:
         injector.start()
 
         file_bytes = ecfs.mds.lookup(files[0]).size
-        trace = generate_trace(
-            resolve_trace(spec.trace), spec.n_ops, files, file_bytes, seed=seed
-        )
-        replay = TraceReplayer(ecfs, trace).run(
-            spec.n_clients, tolerate_failures=True
-        )
+        frontend = None
+        if spec.frontend:
+            # QoS pipeline + open-loop arrivals: per-tenant Poisson streams
+            # submit through admission/retry/hedging; outages surface as
+            # retried-or-shed requests, not as a stalled arrival process
+            from repro.frontend.dispatcher import FrontEnd
+            from repro.traces.replayer import OpenLoopReplayer
+
+            frontend = FrontEnd(
+                ecfs,
+                hedge_delay=spec.hedge_delay,
+                max_inflight=spec.max_inflight,
+            )
+            ecfs.frontend = frontend  # visible to the spec's invariant checks
+            open_result = OpenLoopReplayer(
+                ecfs, frontend, list(spec.tenants), files
+            ).run(seed=seed)
+            ops_issued = open_result.submitted
+            updates = ecfs.metrics.updates.count
+            reads = ecfs.metrics.reads.count
+            failures = open_result.failed + open_result.deadline_missed
+        else:
+            trace = cached_trace(
+                resolve_trace(spec.trace), spec.n_ops, files, file_bytes, seed=seed
+            )
+            replay = TraceReplayer(ecfs, trace).run(
+                spec.n_clients, tolerate_failures=True
+            )
+            ops_issued = replay.ops_issued
+            updates = replay.updates
+            reads = replay.reads
+            failures = replay.failures
 
         # settle: flush logs so quiescence predicates can fire, let every
         # fault (and its recovery) run to completion, then flush the
         # replays/repairs the faults produced
         ecfs.drain()
         ecfs.env.run(injector.done())
+        if frontend is not None:
+            # a fault's recovery may have released straggler legs: wait the
+            # pipeline fully out before anything is digested
+            ecfs.env.run(ecfs.env.process(frontend.quiesce(), name="fe-quiesce2"))
         if heartbeat is not None:
             # grace period: restarted/healed nodes need a beat + a monitor
             # tick to be readmitted
@@ -205,15 +258,33 @@ class ScenarioRunner:
             check(ecfs, injector)
         stripes = ecfs.verify()
 
+        slo = frontend.slo.summary() if frontend is not None else {}
+        slo_series = (
+            frontend.slo.series(spec.slo_window) if frontend is not None else {}
+        )
+        digest = cluster_digest(ecfs)
+        if frontend is not None:
+            # fold the SLO read-out into the canonical digest so the
+            # determinism oracle also covers the metrics subsystem itself
+            import hashlib
+
+            from repro.fault.digest import canonical
+
+            digest = hashlib.sha256(
+                canonical(
+                    {"cluster": digest, "slo": slo, "series": slo_series}
+                ).encode()
+            ).hexdigest()
+
         wall = _time.perf_counter() - wall0
         return ScenarioResult(
             name=spec.name,
             seed=seed,
-            digest=cluster_digest(ecfs),
-            ops=replay.ops_issued,
-            updates=replay.updates,
-            reads=replay.reads,
-            failures=replay.failures,
+            digest=digest,
+            ops=ops_issued,
+            updates=updates,
+            reads=reads,
+            failures=failures,
             sim_time=ecfs.env.now,
             stripes_verified=stripes,
             fault_log=list(injector.log),
@@ -227,4 +298,7 @@ class ScenarioRunner:
             rebalance_reports=list(injector.rebalance_reports),
             epoch=ecfs.placement.epoch,
             rebalance_stats=ecfs.metrics.rebalance_stats(),
+            slo=slo,
+            slo_series=slo_series,
+            frontend_stats=frontend.stats() if frontend is not None else {},
         )

@@ -442,6 +442,174 @@ def _spec_topo_weight_crush() -> ScenarioSpec:
     )
 
 
+# ------------------------------------------------------- SLO (QoS x fault)
+# The front-end grid: three tenants spanning the QoS classes ride the same
+# open-loop arrival mix while one fault archetype plays out — crash (retries
+# heal it), partition (hedged reads dodge it), and a join-rebalance
+# (foreground latency during migration becomes a window series).  Sweepable
+# as  python -m repro slo  or  python -m repro sweep --scenarios slo-...
+def _slo_tenants():
+    from repro.traces.replayer import TenantSpec
+
+    return (
+        TenantSpec(name="t-gold", qos="gold", rate=500.0, n_ops=60),
+        TenantSpec(name="t-silver", qos="silver", rate=400.0, n_ops=60),
+        TenantSpec(name="t-bronze", qos="bronze", rate=300.0, n_ops=60),
+    )
+
+
+_SLO_GEOMETRY = dict(
+    n_osds=12,
+    k=4,
+    m=2,
+    n_files=2,
+    stripes_per_file=3,
+    n_ops=180,  # drives the after_ops fault triggers (sum of tenant n_ops)
+    frontend=True,
+)
+
+
+def _slo_availability_floor(floors: dict[str, float]):
+    """Per-class availability floors over the whole run (the gold floor is
+    the SLO story: it must stay high *through* the fault window)."""
+
+    def check(ecfs, injector):
+        summary = ecfs.frontend.slo.summary()
+        by_class: dict[str, list[float]] = {}
+        for who, stats in summary.items():
+            by_class.setdefault(who.split("/")[1], []).append(stats["availability"])
+        for qos, floor in floors.items():
+            got = min(by_class.get(qos, [0.0]))
+            if got < floor:
+                raise AssertionError(
+                    f"{qos} availability {got:.4f} under the {floor} floor"
+                )
+
+    return check
+
+
+def _expect_frontend_served(ecfs, injector):
+    stats = ecfs.frontend.stats()
+    if stats["submitted"] <= 0 or stats["ok"] <= 0:
+        raise AssertionError("front-end served nothing")
+
+
+def _spec_slo_qos_crash() -> ScenarioSpec:
+    """An OSD crashes and is rebuilt under open-loop multi-tenant load: the
+    retry layer rides out the outage (UnavailableError -> backoff -> the
+    recovered home), so availability dips instead of cratering."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        # osd1 hosts data blocks of this population (so foreground updates
+        # genuinely hit the outage); detection is fast enough that backoff
+        # retries can bridge crash -> rebuilt-and-re-homed
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 6),
+            CrashOSD(osd=1, recover=True, detect_delay=0.02),
+        )
+
+    def check_retried(ecfs, injector):
+        if ecfs.frontend.stats()["retries"] <= 0:
+            raise AssertionError("crash produced no front-end retries")
+
+    return ScenarioSpec(
+        name="slo-qos-crash",
+        description="QoS grid vs. OSD crash: retries heal the outage window",
+        method="tsue",
+        tenants=_slo_tenants(),
+        build_faults=faults,
+        checks=[
+            _expect_recoveries(1),
+            _expect_frontend_served,
+            check_retried,
+            _slo_availability_floor({"gold": 0.75, "silver": 0.75}),
+        ],
+        **_SLO_GEOMETRY,
+    )
+
+
+def _spec_slo_qos_partition() -> ScenarioSpec:
+    """A two-node island is cut mid-run: updates addressed into the island
+    park until the heal (deadline misses), while hedged reads reconstruct
+    from survivors outside the cut and keep read availability up."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 3),
+            PartitionNet(group=("osd1", "osd2"), heal_after=0.3),
+        )
+
+    def check_hedged(ecfs, injector):
+        stats = ecfs.frontend.stats()
+        if stats["hedge_wins"] <= 0:
+            raise AssertionError("no hedged read dodged the partition")
+
+    return ScenarioSpec(
+        name="slo-qos-partition",
+        description="QoS grid vs. network partition: hedged reads dodge the cut",
+        method="tsue",
+        tenants=_slo_tenants(),
+        build_faults=faults,
+        checks=[
+            _expect_no_recovery,
+            _expect_frontend_served,
+            check_hedged,
+            _slo_availability_floor({"gold": 0.5}),
+        ],
+        **_SLO_GEOMETRY,
+    )
+
+
+def _spec_slo_qos_rebalance() -> ScenarioSpec:
+    """An OSD joins and the rebalancer migrates under open-loop load: the
+    windowed SLO series captures foreground latency during the migration —
+    the ROADMAP's 'rebalance-aware SLO metrics' deferral."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        # a tight bandwidth cap stretches the migration across most of the
+        # arrival span, so the window series actually shows the interference
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 6),
+            OSDJoin(weight=1.0, bw_cap=8 * MiB, parallel=2),
+        )
+
+    return ScenarioSpec(
+        name="slo-qos-rebalance",
+        description="QoS grid vs. join-rebalance: latency-during-migration series",
+        method="tsue",
+        placement="crush",
+        tenants=_slo_tenants(),
+        build_faults=faults,
+        checks=[
+            _expect_rebalanced(1, max_move_factor=None),
+            _expect_epoch(1),
+            _expect_no_recovery,
+            _expect_frontend_served,
+            _slo_availability_floor({"gold": 0.8, "silver": 0.6}),
+        ],
+        **_SLO_GEOMETRY,
+    )
+
+
+def _spec_slo_steady() -> ScenarioSpec:
+    """The fault-free baseline of the SLO grid: every class should clear
+    its availability target, so any dip in the fault cells is attributable
+    to the fault, not the pipeline."""
+
+    return ScenarioSpec(
+        name="slo-steady",
+        description="QoS grid, no faults: the availability baseline",
+        method="tsue",
+        tenants=_slo_tenants(),
+        checks=[
+            _expect_no_recovery,
+            _expect_frontend_served,
+            _slo_availability_floor({"gold": 0.9, "silver": 0.8, "bronze": 0.5}),
+        ],
+        **_SLO_GEOMETRY,
+    )
+
+
 _FACTORIES = [
     _spec_crash_mid_update,
     _spec_double_failure,
@@ -454,6 +622,10 @@ _FACTORIES = [
     _spec_topo_join_rotation,
     _spec_topo_decommission_crush,
     _spec_topo_weight_crush,
+    _spec_slo_steady,
+    _spec_slo_qos_crash,
+    _spec_slo_qos_partition,
+    _spec_slo_qos_rebalance,
 ]
 
 SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {

@@ -1,0 +1,80 @@
+"""Typed front-end requests: op + tenant + QoS class + deadline.
+
+A :class:`Request` is the unit the front-end pipeline schedules: it names
+the operation (update/read), the tenant issuing it, the QoS class that
+decides queueing priority and shedding order, and a latency deadline.  The
+pipeline answers with a :class:`RequestResult` — what happened, how long it
+took, how many attempts/hedges it cost — which the SLO tracker folds into
+per-tenant availability and latency-percentile metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "QOS_CLASSES",
+    "QOS_RANK",
+    "DEFAULT_DEADLINES",
+    "Request",
+    "RequestResult",
+]
+
+#: QoS classes in strict scheduling-priority order: ``gold`` is dispatched
+#: first and shed last; ``bronze`` is the scavenger class.
+QOS_CLASSES = ("gold", "silver", "bronze")
+QOS_RANK = {name: rank for rank, name in enumerate(QOS_CLASSES)}
+
+#: per-class default deadline (seconds) when the tenant does not set one —
+#: roughly p99-of-steady-state x {2, 8, 30} on the SSD geometry
+DEFAULT_DEADLINES = {"gold": 0.05, "silver": 0.2, "bronze": 1.0}
+
+#: terminal request statuses
+STATUS_OK = "ok"  # completed successfully (deadline met or not)
+STATUS_SHED = "shed"  # rejected by admission control, never dispatched
+STATUS_FAILED = "failed"  # fatal error, or retry budget/attempts exhausted
+STATUS_DEADLINE = "deadline"  # abandoned: the deadline passed mid-flight
+
+
+@dataclass
+class Request:
+    """One front-end operation, as submitted by a tenant."""
+
+    req_id: int
+    tenant: str
+    qos: str  # one of QOS_CLASSES
+    op: str  # "update" | "read"
+    file_id: int
+    offset: int
+    size: int
+    deadline: float  # seconds from submission; inf = none
+    submitted_at: float = 0.0  # stamped by the front end
+
+    def __post_init__(self) -> None:
+        if self.qos not in QOS_RANK:
+            raise ValueError(f"unknown QoS class {self.qos!r}")
+        if self.op not in ("update", "read"):
+            raise ValueError(f"front-end op must be update/read, got {self.op!r}")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive (use inf for none)")
+
+
+@dataclass
+class RequestResult:
+    """Terminal outcome of one request's trip through the pipeline."""
+
+    status: str  # STATUS_* above
+    latency: float  # submission -> completion (or abandonment) seconds
+    attempts: int = 0  # dispatch attempts (0 for shed)
+    hedged: bool = False  # a hedge read was launched
+    hedge_won: bool = False  # ... and it finished first
+    retries: int = 0  # attempts beyond the first
+    error: str = ""  # failure detail for failed/shed requests
+    value: object = field(default=None, repr=False)  # read payload
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def met_deadline(self, deadline: float) -> bool:
+        return self.ok and self.latency <= deadline

@@ -66,8 +66,13 @@ def _run_scenario(args) -> int:
 def _run_sweep(args) -> int:
     # imported lazily so plain experiment runs stay light
     from repro.harness.runner import ExperimentConfig
-    from repro.harness.sweep import CellFailure, SweepExecutor, run_grid
-    from repro.metrics.tables import format_table
+    from repro.harness.sweep import (
+        CellFailure,
+        SweepExecutor,
+        run_grid,
+        scenario_cells,
+    )
+    from repro.metrics.tables import format_markdown, format_table
 
     executor = SweepExecutor(
         workers=args.workers,
@@ -79,9 +84,21 @@ def _run_sweep(args) -> int:
     if args.scenarios:
         names = [s for s in args.scenarios.split(",") if s]
         results = executor.run_scenarios(names, seeds)
-        for res in results:
-            print(repr(res) if isinstance(res, CellFailure) else res.summary())
-            print()
+        if args.table:
+            # scenario x seed benchmark grid as markdown (scenario_cells is
+            # the executor's own result ordering — labels cannot desync)
+            rows: dict[str, dict[str, object]] = {}
+            for (name, seed), res in zip(scenario_cells(names, seeds), results):
+                rows.setdefault(name, {})[f"seed {seed}"] = (
+                    "FAILED"
+                    if isinstance(res, CellFailure)
+                    else f"{res.ops} ops / {res.failures} fail / {res.digest[:8]}"
+                )
+            print(format_markdown(rows, corner="scenario"))
+        else:
+            for res in results:
+                print(repr(res) if isinstance(res, CellFailure) else res.summary())
+                print()
     else:
         methods = [s for s in args.methods.split(",") if s]
         traces = [s for s in args.traces.split(",") if s]
@@ -112,18 +129,79 @@ def _run_sweep(args) -> int:
             }
             for row, cols in grid.items()
         }
-        print(
-            format_table(
-                rows,
-                title=f"sweep — aggregate update IOPS ({args.ops} ops)",
-                floatfmt="{:,.0f}",
+        if args.table:
+            print(f"### sweep — aggregate update IOPS ({args.ops} ops)\n")
+            print(format_markdown(rows, corner="trace / seed", floatfmt="{:,.0f}"))
+        else:
+            print(
+                format_table(
+                    rows,
+                    title=f"sweep — aggregate update IOPS ({args.ops} ops)",
+                    floatfmt="{:,.0f}",
+                )
             )
-        )
     stats = executor.stats
     print(
         f"[sweep: {stats.cells} cells, {stats.cache_hits} cached, "
         f"{stats.workers} workers, {stats.retried} retried, "
         f"{stats.failed} failed, {stats.wall_seconds:.1f}s]"
+    )
+    return 0
+
+
+def _run_slo(args) -> int:
+    """Run the QoS x fault SLO grid (or one slo-* scenario) and report
+    per-tenant percentiles/availability plus the windowed time series."""
+    # imported lazily so plain experiment runs stay light
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import SCENARIOS, get_scenario
+    from repro.metrics.tables import format_table
+
+    if args.name is not None:
+        names = [args.name]
+    else:
+        names = sorted(n for n in SCENARIOS if n.startswith("slo-"))
+    grid: dict[str, dict[str, float]] = {}
+    for name in names:
+        try:
+            spec = get_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if not spec.frontend:
+            print(f"scenario {name!r} does not run the front end", file=sys.stderr)
+            return 2
+        if args.window is not None:
+            spec.slo_window = args.window
+        result = ScenarioRunner(spec).run(seed=args.seed)
+        print(result.summary())
+        series = result.slo_series
+        if series.get("t"):
+            print("  window series (availability / p99 during the fault window):")
+            print(f"    {'t(s)':>8} {'avail':>7} {'p99(ms)':>9} {'arrivals':>9}")
+            for t, avail, p99, n in zip(
+                series["t"],
+                series["availability"],
+                series["p99"],
+                series["submitted"],
+            ):
+                print(f"    {t:8.3f} {avail:7.3f} {p99 * 1e3:9.3f} {n:9.0f}")
+        print()
+        for who, stats in result.slo.items():
+            grid[f"{name} {who}"] = {
+                "p50 ms": stats["p50"] * 1e3,
+                "p99 ms": stats["p99"] * 1e3,
+                "p999 ms": stats["p999"] * 1e3,
+                "avail": stats["availability"],
+                "goodput/s": stats["goodput"],
+                "budget": stats["error_budget"],
+            }
+    print(
+        format_table(
+            grid,
+            title="SLO grid — per tenant/class (QoS x fault)",
+            floatfmt="{:,.3f}",
+        )
     )
     return 0
 
@@ -220,11 +298,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "scenario", "sweep", "topology"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "scenario", "slo", "sweep", "topology"],
         help="artifact to regenerate ('all' runs everything, 'list' "
-        "enumerates, 'scenario' runs the fault-injection harness, 'sweep' "
-        "runs a parallel scenario/experiment grid, 'topology' analyzes "
-        "placement policies under elastic topology events)",
+        "enumerates, 'scenario' runs the fault-injection harness, 'slo' "
+        "runs the QoS x fault front-end grid with per-tenant SLO metrics, "
+        "'sweep' runs a parallel scenario/experiment grid, 'topology' "
+        "analyzes placement policies under elastic topology events)",
     )
     parser.add_argument(
         "name",
@@ -280,12 +360,25 @@ def main(argv: list[str] | None = None) -> int:
         "REPRO_CACHE_DIR or disabled)",
     )
     sweep.add_argument(
+        "--table",
+        action="store_true",
+        help="render the sweep grid as a GitHub-markdown benchmark table",
+    )
+    sweep.add_argument(
         "--cell-timeout",
         type=float,
         default=None,
         help="per-cell wall-clock timeout in seconds (workers > 1): a cell "
         "that hangs is killed, retried once, then reported as failed "
         "(default: REPRO_CELL_TIMEOUT or disabled)",
+    )
+    slo = parser.add_argument_group("slo options")
+    slo.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="with 'slo': time-series bucket width in simulated seconds "
+        "(default: each scenario's slo_window)",
     )
     topo = parser.add_argument_group("topology options")
     topo.add_argument(
@@ -319,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "scenario":
         return _run_scenario(args)
+    if args.experiment == "slo":
+        return _run_slo(args)
     if args.experiment == "sweep":
         return _run_sweep(args)
     if args.experiment == "topology":

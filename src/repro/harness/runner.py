@@ -15,7 +15,7 @@ from repro.net.fabric import NetParams
 from repro.traces.alicloud import alicloud_spec
 from repro.traces.msr import msr_spec
 from repro.traces.replayer import TraceReplayer
-from repro.traces.synthetic import SyntheticTraceSpec, generate_trace
+from repro.traces.synthetic import SyntheticTraceSpec
 from repro.traces.tencloud import tencloud_spec
 
 __all__ = [
@@ -116,21 +116,24 @@ class ExperimentResult:
 def run_experiment(cfg: ExperimentConfig, keep_cluster: bool = False) -> ExperimentResult:
     """Build, populate, replay, (optionally) drain+verify, measure."""
     wall0 = time.perf_counter()
+    from repro.harness.prefix import cached_trace, populate_cached
+
     ecfs = ECFS(
         cfg.cluster_config(),
         method=cfg.method,
         net_params=NetParams(latency=cfg.net_latency),
         method_options=cfg.method_options,
     )
-    files = ecfs.populate(
-        n_files=cfg.n_files,
-        stripes_per_file=cfg.stripes_per_file,
+    files = populate_cached(
+        ecfs,
+        cfg.n_files,
+        cfg.stripes_per_file,
         fill="random" if cfg.verify else "zeros",
     )
     file_bytes = ecfs.mds.lookup(files[0]).size
     spec = resolve_trace(cfg.trace)
     targets = files[: cfg.hot_files] if cfg.hot_files else files
-    trace = generate_trace(spec, cfg.n_ops, targets, file_bytes, seed=cfg.seed)
+    trace = cached_trace(spec, cfg.n_ops, targets, file_bytes, seed=cfg.seed)
     replay = TraceReplayer(ecfs, trace).run(cfg.n_clients, duration=cfg.duration)
     # Drain outstanding logs before accounting: the paper's workload numbers
     # (Table 1) include each method's recycle I/O.  Replay IOPS/latency were

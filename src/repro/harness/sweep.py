@@ -25,9 +25,16 @@ terminated, a cell that dies is collected, and either is retried once
 the result list (``strict=False``) or raises after the whole sweep drained
 (``strict``, the default) — the pool itself never wedges.
 
+Prefix sharing: cells that agree on geometry + seed also share their
+populate/trace *prefixes* through the in-process content-addressed memos
+of :mod:`repro.harness.prefix` (the PR-2 deferred item) — a scenario x
+seed grid populates each distinct (geometry, seed) once per worker, not
+once per cell.
+
 Environment knobs: ``REPRO_WORKERS`` (default worker count),
 ``REPRO_CACHE_DIR`` (default cache directory), ``REPRO_CELL_TIMEOUT``
-(default per-cell timeout, seconds).
+(default per-cell timeout, seconds), ``REPRO_PREFIX_CACHE=0`` (disable
+prefix sharing).
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ __all__ = [
     "SweepStats",
     "SweepExecutor",
     "config_key",
+    "scenario_cells",
     "scenario_key",
     "run_cells",
     "run_grid",
@@ -64,7 +72,10 @@ __all__ = [
 #: then unreachable and simply re-run.
 #: 2: epoch-aware placement (digests gained an epoch field; clients chase
 #:    mid-flight re-homes; rebuild targets avoid actual homes)
-CACHE_SCHEMA = 2
+#: 3: front-end subsystem (ScenarioResult gained slo/slo_series/
+#:    frontend_stats fields — schema-2 pickles would unpickle without
+#:    them; degraded reads skip unreachable sources)
+CACHE_SCHEMA = 3
 
 
 def config_key(cfg: ExperimentConfig) -> str:
@@ -73,6 +84,14 @@ def config_key(cfg: ExperimentConfig) -> str:
     payload["__schema__"] = CACHE_SCHEMA
     payload["__kind__"] = "experiment"
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def scenario_cells(names: Iterable[str], seeds: Iterable[int]) -> list[tuple[str, int]]:
+    """The (name, seed) cell order :meth:`SweepExecutor.run_scenarios`
+    runs and returns results in (row-major: all seeds per name).  Callers
+    labelling the flat result list (e.g. ``repro sweep --table``) must use
+    this, not a hand-rolled comprehension, so labels can never desync."""
+    return [(name, int(seed)) for name in names for seed in seeds]
 
 
 def scenario_key(name: str, seed: int) -> str:
@@ -184,10 +203,9 @@ class SweepExecutor:
     def run_scenarios(
         self, names: Iterable[str], seeds: Iterable[int]
     ) -> list["ScenarioResult"]:
-        """Run the scenario × seed grid (row-major: all seeds per name)."""
-        names = list(names)
-        seeds = [int(s) for s in seeds]  # materialize: one-shot iterators
-        cells = [(name, seed) for name in names for seed in seeds]
+        """Run the scenario × seed grid; results follow
+        :func:`scenario_cells` order."""
+        cells = scenario_cells(list(names), list(seeds))
         keys = [scenario_key(name, seed) for name, seed in cells]
         return self._run(keys, cells, _scenario_cell)
 

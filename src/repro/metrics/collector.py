@@ -82,6 +82,45 @@ class MetricsCollector:
             "max": float(lat.max()),
         }
 
+    @staticmethod
+    def percentile_stats(
+        values, qs: tuple[float, ...] = (50.0, 99.0, 99.9)
+    ) -> dict[str, float]:
+        """{"p50": ..., "p99": ..., "p999": ...} over ``values`` (0s if empty).
+
+        Percentile labels drop the decimal point (99.9 -> ``p999``), the
+        SRE-conventional spelling the SLO layer reports.
+        """
+        labels = ["p" + f"{q:g}".replace(".", "") for q in qs]
+        if len(values) == 0:
+            return {label: 0.0 for label in labels}
+        arr = np.asarray(values, dtype=float)
+        pct = np.percentile(arr, qs)
+        return {label: float(v) for label, v in zip(labels, pct)}
+
+    @staticmethod
+    def windowed(
+        times, values, window: float, t0: float | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Bucket ``values`` by their ``times`` into fixed windows.
+
+        Returns (window centers, per-window value arrays) — the shared
+        binning behind IOPS series and the SLO layer's latency-during-
+        migration time series.  Pass ``t0`` to pin the bin origin so two
+        series over different samples (e.g. all arrivals vs. served-only
+        completions) land on identical window centers.
+        """
+        if len(times) == 0:
+            return np.array([]), []
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t0 is None:
+            t0 = float(t.min())
+        nbins = max(1, int(np.ceil((t.max() - t0) / window)) or 1)
+        idx = np.clip(((t - t0) / window).astype(int), 0, nbins - 1)
+        centers = t0 + (np.arange(nbins) + 0.5) * window
+        return centers, [v[idx == b] for b in range(nbins)]
+
     def rebalance_stats(self) -> dict[str, float]:
         """Moved bytes/blocks and time-to-balanced of epoch rebalances —
         the span from the first to the last committed move this run."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_markdown", "format_series"]
 
 
 def format_table(
@@ -46,6 +46,45 @@ def format_table(
             r.ljust(label_w)
             + " | "
             + " | ".join(cells[r][c].rjust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_markdown(
+    rows: Mapping[str, Mapping[str, object]],
+    corner: str = "",
+    floatfmt: str = "{:,.2f}",
+) -> str:
+    """Render {row: {column: value}} as a GitHub-flavoured markdown table.
+
+    The benchmark-table twin of :func:`format_table`: cells may be floats
+    (formatted with ``floatfmt``), ints, or pre-rendered strings; missing
+    cells render as ``-``.  ``corner`` labels the row-header column.
+    """
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for cols in rows.values():
+        for c in cols:
+            if c not in columns:
+                columns.append(c)
+
+    def cell(v: object) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        if isinstance(v, int):
+            return f"{v:,}"
+        return str(v)
+
+    lines = [
+        "| " + " | ".join([corner] + columns) + " |",
+        "| " + " | ".join(["---"] + ["---:"] * len(columns)) + " |",
+    ]
+    for r, cols in rows.items():
+        lines.append(
+            "| " + " | ".join([r] + [cell(cols.get(c)) for c in columns]) + " |"
         )
     return "\n".join(lines)
 

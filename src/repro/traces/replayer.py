@@ -1,20 +1,34 @@
-"""Closed-loop multi-client trace replay.
+"""Closed- and open-loop multi-client trace replay.
 
-``n_clients`` client processes share the trace; each issues its next record
-as soon as the previous one completes (closed loop, zero think time), which
-is how the paper's client scaling (4..64 clients) is driven.
+Closed loop (:class:`TraceReplayer`): ``n_clients`` client processes share
+the trace; each issues its next record as soon as the previous one
+completes (zero think time), which is how the paper's client scaling
+(4..64 clients) is driven.
+
+Open loop (:class:`OpenLoopReplayer`): each :class:`TenantSpec` is an
+independent arrival process — exponential inter-arrival gaps at the
+tenant's rate, drawn from a per-tenant seeded RNG stream — submitting into
+a QoS-aware :class:`~repro.frontend.dispatcher.FrontEnd` without waiting
+for completions.  Arrivals keep coming while the cluster degrades, which
+is what makes availability-under-faults measurable: a closed loop slows
+its own arrival rate to match the outage and hides the damage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Sequence
+
+import numpy as np
 
 from repro.cluster.ecfs import ECFS
 from repro.common.errors import DecodeError, IntegrityError
 from repro.traces.record import TraceRecord
 
-__all__ = ["ReplayResult", "TraceReplayer"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.frontend.dispatcher import FrontEnd
+
+__all__ = ["ReplayResult", "TraceReplayer", "TenantSpec", "OpenLoopReplayer"]
 
 
 @dataclass
@@ -115,3 +129,120 @@ class TraceReplayer:
                 self._reads += 1
             else:
                 self._updates += 1
+
+
+# --------------------------------------------------------------- open loop
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's arrival process and service expectations."""
+
+    name: str
+    qos: str = "silver"  # scheduling class (see repro.frontend.request)
+    rate: float = 400.0  # mean arrivals/sec (exponential gaps)
+    n_ops: int = 100  # arrivals this tenant generates
+    deadline: float | None = None  # None: the QoS-class default
+    trace: str = "tencloud"  # statistical fingerprint of the ops
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.n_ops <= 0:
+            raise ValueError("tenant rate and n_ops must be positive")
+
+
+@dataclass
+class OpenLoopResult:
+    """Totals of one open-loop run (per-request detail lives in the
+    front end's :class:`~repro.frontend.slo.SLOTracker`)."""
+
+    submitted: int
+    ok: int
+    shed: int
+    failed: int
+    deadline_missed: int
+    elapsed: float
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+
+class OpenLoopReplayer:
+    """Drives per-tenant Poisson arrivals into a front-end pipeline."""
+
+    def __init__(
+        self,
+        ecfs: ECFS,
+        frontend: "FrontEnd",
+        tenants: Sequence[TenantSpec],
+        files: Sequence[int],
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self.ecfs = ecfs
+        self.frontend = frontend
+        self.tenants = list(tenants)
+        self.files = list(files)
+        for spec in self.tenants:
+            frontend.register_tenant(spec.name, spec.qos, spec.deadline)
+
+    def run(self, seed: int = 2025) -> OpenLoopResult:
+        """Generate every tenant's arrivals, wait for all completions (and
+        abandoned straggler legs), and return the totals."""
+        from repro.harness.prefix import cached_trace
+        from repro.harness.runner import resolve_trace
+
+        ecfs = self.ecfs
+        env = ecfs.env
+        start = env.now
+        file_bytes = ecfs.mds.lookup(self.files[0]).size
+        completions: list = []
+        arrival_procs = []
+        for idx, spec in enumerate(sorted(self.tenants, key=lambda s: s.name)):
+            records = cached_trace(
+                resolve_trace(spec.trace),
+                spec.n_ops,
+                self.files,
+                file_bytes,
+                seed=seed + 7919 * (idx + 1),
+            )
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, 0x09E7100, idx])
+            )
+            gaps = rng.exponential(1.0 / spec.rate, spec.n_ops)
+            arrivals = start + np.cumsum(gaps)
+            arrival_procs.append(
+                env.process(
+                    self._arrive(spec, records, arrivals, completions),
+                    name=f"arrivals-{spec.name}",
+                )
+            )
+        env.run(env.all_of(arrival_procs))
+        self.frontend.close()
+        if completions:
+            env.run(env.all_of(completions))
+        env.run(env.process(self.frontend.quiesce(), name="fe-quiesce"))
+
+        results = [ev.value for ev in completions]
+        per_tenant: dict[str, int] = {}
+        for spec in sorted(self.tenants, key=lambda s: s.name):
+            per_tenant[spec.name] = spec.n_ops
+        return OpenLoopResult(
+            submitted=len(results),
+            ok=sum(1 for r in results if r.status == "ok"),
+            shed=sum(1 for r in results if r.status == "shed"),
+            failed=sum(1 for r in results if r.status == "failed"),
+            deadline_missed=sum(1 for r in results if r.status == "deadline"),
+            elapsed=env.now - start,
+            per_tenant=per_tenant,
+        )
+
+    def _arrive(self, spec, records, arrivals, completions) -> Generator:
+        env = self.ecfs.env
+        for record, when in zip(records, arrivals):
+            if when > env.now:
+                yield env.timeout_at(float(when))
+            completions.append(
+                self.frontend.submit(
+                    "update" if record.op == "update" else "read",
+                    spec.name,
+                    record.file_id,
+                    record.offset,
+                    record.size,
+                )
+            )

@@ -247,3 +247,22 @@ def test_sweep_cli_smoke(capsys, tmp_path):
     assert "TSUE" in out and "FO" in out
     assert "2 cells" in out
     assert os.listdir(tmp_path)  # cache populated
+
+
+def test_prefix_cache_shares_populate_and_trace(monkeypatch):
+    """Cells sharing geometry+seed hit the populate/trace memos — and the
+    cached cell is byte-identical to the cold one (equal digests)."""
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import get_scenario
+    from repro.harness import prefix
+
+    prefix.clear_prefix_caches()
+    cold = ScenarioRunner(get_scenario("rolling-restart")).run(seed=31)
+    assert prefix._populate_memo and prefix._trace_memo
+    warm = ScenarioRunner(get_scenario("rolling-restart")).run(seed=31)
+    assert warm.digest == cold.digest
+    # disabling the cache must also reproduce the digest
+    monkeypatch.setenv("REPRO_PREFIX_CACHE", "0")
+    off = ScenarioRunner(get_scenario("rolling-restart")).run(seed=31)
+    assert off.digest == cold.digest
+    prefix.clear_prefix_caches()

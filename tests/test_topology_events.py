@@ -187,3 +187,58 @@ def test_topo_scenarios_are_seed_deterministic():
     b = ScenarioRunner(get_scenario("topo-join-crush")).run(seed=3)
     assert a.digest == b.digest
     assert a.fault_log == b.fault_log
+
+
+def test_apply_topology_batch_rack_join_is_one_epoch():
+    """A whole-rack join folds into ONE epoch advance and ONE plan — no
+    block migrates to an intermediate home a later join would re-move."""
+    ecfs = _cluster()
+    ecfs.populate(n_files=3, stripes_per_file=4, fill="random")
+    joined, plan = ecfs.apply_topology_batch(
+        [("join", {"weight": 1.0, "rack": 99}) for _ in range(4)]
+    )
+    assert len(joined) == 4
+    assert len(ecfs.osds) == 20
+    assert ecfs.placement.epoch == 1  # one advance for four joins
+    report = _run_rebalance(ecfs, plan)
+    assert report.moved_blocks == len(plan.moves)
+    assert ecfs.placement.balanced()
+    # the batch moves no more than the equivalent share of four sequential
+    # joins would (and usually less: no intermediate-home churn)
+    total = len(ecfs.known_blocks) * ecfs.config.block_size
+    assert report.moved_bytes <= 1.5 * 4 / 20 * total
+    ecfs.drain()
+    assert ecfs.verify() == 12
+
+
+def test_apply_topology_batch_mixed_events():
+    """Join + reweight + decommission resolve in one epoch; the drained
+    node's blocks land directly on final homes."""
+    ecfs = _cluster()
+    ecfs.populate(n_files=3, stripes_per_file=4, fill="random")
+    joined, plan = ecfs.apply_topology_batch(
+        [
+            ("join", {"weight": 1.0}),
+            ("weight", {"osd": 0, "weight": 0.5}),
+            ("decommission", {"osd": 5}),
+        ]
+    )
+    assert len(joined) == 1 and ecfs.placement.epoch == 1
+    _run_rebalance(ecfs, plan)
+    assert ecfs.placement.balanced()
+    assert not any(
+        ecfs.placement.home_of(b) == 5 for b in ecfs.known_blocks
+    )
+    assert ecfs.retire_osd(5)
+    ecfs.drain()
+    assert ecfs.verify() == 12
+
+
+def test_apply_topology_batch_rejects_unknown_op():
+    import pytest
+
+    from repro.common.errors import ConfigError
+
+    ecfs = _cluster()
+    with pytest.raises(ConfigError):
+        ecfs.apply_topology_batch([("explode", {})])
