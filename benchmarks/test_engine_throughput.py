@@ -10,7 +10,11 @@ artifact by the nightly job), recording
   process pool, and from a warm content-addressed cache;
 * **frontend** — per-class p99 latency and availability of the QoS x fault
   SLO grid (slo-qos-crash), so front-end service levels are tracked
-  nightly alongside raw engine throughput.
+  nightly alongside raw engine throughput;
+* **background_interference** — foreground p99/availability of the
+  maintenance-storm scenario pair with the SLO governor on vs off, plus
+  per-stream grant/drain accounting: the unified background scheduler's
+  foreground-protection contract, tracked nightly.
 
 Assertions encode the perf bar:
 
@@ -214,3 +218,51 @@ def test_frontend_slo_bench():
     for qos, stats in per_class.items():
         assert 0.0 < stats["availability"] <= 1.0, qos
         assert stats["p99_ms"] > 0.0, qos
+
+
+def test_background_interference_bench():
+    """Track the maintenance plane's foreground-protection contract: the
+    governor-on run of the bg storm must beat the governor-off control on
+    overall foreground p99, with every background stream fully drained in
+    both — asserted here and recorded in BENCH_engine.json nightly."""
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import get_scenario
+
+    results = {
+        gov: ScenarioRunner(
+            get_scenario(f"bg-rebalance-governor-{gov}")
+        ).run(seed=2025)
+        for gov in ("off", "on")
+    }
+    entry = {
+        "bench": "background_interference",
+        "timestamp": time.time(),
+        "scenario_pair": "bg-rebalance-governor-{on,off}",
+    }
+    for gov, result in results.items():
+        entry[gov] = {
+            "digest": result.digest,
+            "p99_ms": result.slo_overall["p99"] * 1e3,
+            "p999_ms": result.slo_overall["p999"] * 1e3,
+            "availability": result.slo_overall["availability"],
+            "streams": {
+                stream: {
+                    "granted_bytes": stats["granted_bytes"],
+                    "time_to_drain": stats["time_to_drain"],
+                    "bandwidth": stats["bandwidth"],
+                }
+                for stream, stats in result.background.items()
+                if stats["submitted_items"]
+            },
+            "governor": result.governor,
+        }
+    _append_bench(entry)
+    on, off = results["on"], results["off"]
+    assert on.slo_overall["p99"] < off.slo_overall["p99"], (
+        f"governor failed to protect foreground p99: "
+        f"{on.slo_overall['p99'] * 1e3:.3f}ms (on) vs "
+        f"{off.slo_overall['p99'] * 1e3:.3f}ms (off)"
+    )
+    for gov, result in results.items():
+        for stream, stats in result.background.items():
+            assert stats["backlog_bytes"] == 0, (gov, stream)

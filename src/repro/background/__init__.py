@@ -1,0 +1,29 @@
+"""Unified background-work scheduler (the PR 5 tentpole).
+
+One QoS-arbitrated maintenance plane for the cluster's four background
+streams — log recycling, scrubbing, recovery repair, and rebalance
+migration.  See :mod:`repro.background.scheduler` for the design.
+"""
+
+from repro.background.config import BackgroundConfig
+from repro.background.scheduler import BackgroundScheduler, StreamStats
+from repro.background.work import (
+    STREAMS,
+    MoveOp,
+    RecycleOp,
+    RepairOp,
+    ScrubOp,
+    WorkItem,
+)
+
+__all__ = [
+    "STREAMS",
+    "BackgroundConfig",
+    "BackgroundScheduler",
+    "MoveOp",
+    "RecycleOp",
+    "RepairOp",
+    "ScrubOp",
+    "StreamStats",
+    "WorkItem",
+]

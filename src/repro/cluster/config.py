@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.background.config import BackgroundConfig
 from repro.common.errors import ConfigError
 from repro.common.units import MiB
 
@@ -50,6 +51,17 @@ class ClusterConfig:
     log_max_units: int = 4
     log_pools: int = 4
     recycle_lanes: int = 4
+    # deferred-recycle watermarks (PL-style node-wide logs): recycling is
+    # triggered when a node's log passes the high watermark and drains it
+    # back below the low one.  Formerly a module constant in repro.update.pl
+    # (the config-drift fix); the defaults are large enough that bounded
+    # experiment runs never trigger, matching the historical behavior.
+    recycle_high_watermark: int = 1 << 30
+    recycle_low_watermark: int = 1 << 29
+    # unified background-work scheduler (repro.background): disabled by
+    # default — the four maintenance streams then pace themselves exactly
+    # as they historically did
+    background: BackgroundConfig = field(default_factory=BackgroundConfig)
     # control-plane message sizes
     header_bytes: int = 200
     ack_bytes: int = 64
@@ -76,6 +88,16 @@ class ClusterConfig:
             raise ConfigError(f"unknown failure domain {self.failure_domain!r}")
         if self.osds_per_host < 1 or self.hosts_per_rack < 1:
             raise ConfigError("invalid topology sizing")
+        if not 0 < self.recycle_low_watermark <= self.recycle_high_watermark:
+            raise ConfigError(
+                "recycle watermarks must satisfy 0 < low <= high "
+                f"(got low={self.recycle_low_watermark}, "
+                f"high={self.recycle_high_watermark})"
+            )
+        try:
+            self.background.validate()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
 
     @property
     def stripe_width(self) -> int:

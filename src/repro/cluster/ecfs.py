@@ -67,6 +67,13 @@ class ECFS:
         self.mds = MDS(self.placement, self.config.block_size)
         self.oracle = GroundTruth(self.config.block_size)
         self.metrics = MetricsCollector(self.env)
+        # unified background-work scheduler: every maintenance stream
+        # (recycle/scrub/repair/rebalance) submits typed work items here.
+        # A no-op unless config.background.enabled — imported lazily to
+        # keep the package dependency graph acyclic.
+        from repro.background.scheduler import BackgroundScheduler
+
+        self.background = BackgroundScheduler(self)
         self._ssd_params = ssd_params
         self._hdd_params = hdd_params
 

@@ -55,6 +55,16 @@ class OSD:
         self._log_cursor: dict[str, int] = {}
         self._block_locks: dict[Hashable, Resource] = {}
 
+    def _lane_priority(self, priority: int) -> int:
+        """Apply the active process's scheduling lane (if any) as a priority
+        floor — a deadline-demoted front-end request tree issues all further
+        device I/O at its lane's (weaker) priority, end-to-end, without the
+        call sites threading priority through every layer."""
+        proc = self.env.active_process
+        if proc is not None and proc.lane is not None:
+            return proc.lane.floor(priority)
+        return priority
+
     def block_lock(self, block_id: Hashable) -> Resource:
         """Per-block mutex (§4: block-level locking for concurrent updates).
 
@@ -98,7 +108,7 @@ class OSD:
             offset=self.block_addr(block_id) + offset,
             size=size,
             stream="blocks",
-            priority=priority,
+            priority=self._lane_priority(priority),
             overwrite=overwrite and kind is IOKind.WRITE,
             tag=tag,
         )
@@ -120,7 +130,7 @@ class OSD:
             offset=base + cursor,
             size=size,
             stream=f"{self.name}:{stream}",
-            priority=priority,
+            priority=self._lane_priority(priority),
             overwrite=False,
             tag=tag,
         )
@@ -144,7 +154,7 @@ class OSD:
             offset=addr,
             size=size,
             stream=f"{self.name}:{stream}",
-            priority=priority,
+            priority=self._lane_priority(priority),
             overwrite=overwrite and kind is IOKind.WRITE,
             tag=tag,
         )

@@ -21,6 +21,7 @@ from typing import Generator
 
 import numpy as np
 
+from repro.background.work import RepairOp
 from repro.cluster.ecfs import ECFS
 from repro.cluster.ids import BlockId
 from repro.storage.base import IOKind, IOPriority
@@ -45,11 +46,27 @@ class RecoveryReport:
 
 
 class RecoveryManager:
-    """Drives fail-and-rebuild for one cluster."""
+    """Drives fail-and-rebuild for one cluster.
+
+    When the unified background scheduler is enabled, every block rebuild
+    first obtains a ``repair``-stream grant (the heaviest-weighted stream)
+    and its source/target I/O runs in the BACKGROUND device lane, so a
+    rebuild storm shares the maintenance budget instead of competing with
+    client traffic at FOREGROUND priority.  With the scheduler disabled the
+    historical behavior (ungoverned FOREGROUND fetches) is byte-identical.
+    """
 
     def __init__(self, ecfs: ECFS, parallel_stripes: int = 4) -> None:
         self.ecfs = ecfs
         self.parallel_stripes = max(1, parallel_stripes)
+
+    @property
+    def _io_priority(self) -> int:
+        return (
+            IOPriority.BACKGROUND
+            if self.ecfs.background.enabled
+            else IOPriority.FOREGROUND
+        )
 
     # ------------------------------------------------------------------ API
     def lost_blocks(self, osd_idx: int) -> list[BlockId]:
@@ -139,6 +156,16 @@ class RecoveryManager:
         env = ecfs.env
         target = self._rebuild_target(block, failed_idx)
         sources = self._survivor_sources(block)
+        # unified maintenance plane: one repair-stream grant per rebuilt
+        # block (k source reads + one target write), charged to the rebuild
+        # target's budget (no-op when disabled)
+        yield from ecfs.background.request(
+            RepairOp(
+                osd=ecfs.osds[target].name,
+                nbytes=(len(sources) + 1) * ecfs.config.block_size,
+                tag="rebuild",
+            )
+        )
         reads = [
             env.process(self._fetch(src_bid, target), name=f"rec-r{src_bid}")
             for src_bid in sources
@@ -186,7 +213,9 @@ class RecoveryManager:
                 name=f"rec-replay-{block}",
             )
             tosd = ecfs.osds[target]
-            yield from tosd.io_block(IOKind.WRITE, block, 0, ecfs.config.block_size)
+            yield from tosd.io_block(
+                IOKind.WRITE, block, 0, ecfs.config.block_size, self._io_priority
+            )
             if block in tosd.store:
                 tosd.store.write(block, 0, rebuilt)
             else:
@@ -219,7 +248,7 @@ class RecoveryManager:
         ecfs = self.ecfs
         src = ecfs.osd_hosting(src_bid)
         yield from src.io_block(
-            IOKind.READ, src_bid, 0, ecfs.config.block_size, IOPriority.FOREGROUND
+            IOKind.READ, src_bid, 0, ecfs.config.block_size, self._io_priority
         )
         yield from ecfs.net.transfer(
             src.name, ecfs.osds[target].name, ecfs.config.block_size

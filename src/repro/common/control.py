@@ -1,0 +1,46 @@
+"""Shared control-loop arithmetic.
+
+One implementation of the AIMD step used by both pressure controllers —
+the background scheduler's SLO governor (token scale) and the adaptive
+admission controller (tenant rate scale) — so a semantics fix reaches
+both.  What *differs* between them stays at the call sites: how a breach
+is gated (the governor ignores breaches while the maintenance plane is
+quiet) and what the scale multiplies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["aimd_step", "validate_aimd"]
+
+
+def aimd_step(
+    scale: float,
+    breached: bool,
+    *,
+    backoff: float,
+    recover: float,
+    floor: float,
+    ceiling: float = 1.0,
+) -> float:
+    """Additive-increase / multiplicative-decrease on a throttle scale."""
+    if breached:
+        return max(floor, scale * backoff)
+    return min(ceiling, scale + recover)
+
+
+def validate_aimd(
+    *,
+    backoff: float,
+    recover: float,
+    floor: float,
+    target: float,
+    window: float,
+    interval: float,
+) -> None:
+    """Common sanity bounds for an AIMD pressure loop's knobs."""
+    if not 0 < backoff < 1:
+        raise ValueError("AIMD backoff must be in (0, 1)")
+    if recover <= 0 or not 0 < floor <= 1:
+        raise ValueError("invalid AIMD recover/floor")
+    if target <= 0 or window <= 0 or interval <= 0:
+        raise ValueError("AIMD target/window/interval must be positive")

@@ -13,10 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator
 
+from repro.background.work import RecycleOp
 from repro.core.intervals import Extent
 from repro.core.logunit import LogUnit
 
-__all__ = ["BlockWork", "RecyclePlanner"]
+__all__ = ["BlockWork", "RecyclePlanner", "unit_recycle_op"]
+
+
+def unit_recycle_op(osd_name: str, pool_name: str, unit: LogUnit) -> RecycleOp:
+    """The typed work item recycling one sealed unit submits to the unified
+    background scheduler: the byte cost is the unit's live content (what the
+    recycle will read, merge, and write back), charged to the hosting OSD's
+    background budget under the ``recycle`` stream."""
+    return RecycleOp(osd=osd_name, nbytes=int(unit.used), tag=pool_name)
 
 
 @dataclass

@@ -134,9 +134,18 @@ class CorruptBlock(FaultEvent):
 
 @dataclass(frozen=True)
 class ScrubPass(FaultEvent):
-    """Run one scrub pass over the cluster (repairing if asked)."""
+    """Run one scrub pass over the cluster (repairing if asked).
+
+    ``freeze=True`` selects the under-load mode: stripes with in-flight
+    activity are settled and frozen for the capture instead of skipped —
+    required when the pass runs concurrently with foreground traffic.
+    ``passes`` repeats the full walk back-to-back (a bounded stand-in for
+    the continuous scrub loop of a production store).
+    """
 
     repair: bool = True
+    freeze: bool = False
+    passes: int = 1
 
 
 @dataclass(frozen=True)

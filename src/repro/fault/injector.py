@@ -179,14 +179,18 @@ class FaultInjector:
             if event.rebalance:
                 yield from self._rebalance(plan, event.bw_cap, event.parallel)
         elif isinstance(event, ScrubPass):
-            report = yield env.process(
-                Scrubber(self.ecfs, repair=event.repair).scrub(), name="fault-scrub"
-            )
-            self.scrub_reports.append(report)
-            self._note(
-                f"scrub: {report.stripes_checked} checked, "
-                f"{len(report.repaired)} repaired"
-            )
+            for i in range(max(1, event.passes)):
+                report = yield env.process(
+                    Scrubber(
+                        self.ecfs, repair=event.repair, freeze=event.freeze
+                    ).scrub(),
+                    name=f"fault-scrub{i}",
+                )
+                self.scrub_reports.append(report)
+                self._note(
+                    f"scrub: {report.stripes_checked} checked, "
+                    f"{len(report.repaired)} repaired"
+                )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown fault event {event!r}")
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.background.config import BackgroundConfig
 from repro.cluster.config import ClusterConfig
 from repro.cluster.ecfs import ECFS
 from repro.cluster.heartbeat import HeartbeatService
@@ -54,6 +55,7 @@ class ScenarioSpec:
     m: int = 2
     block_size: int = 64 * KiB
     log_unit_size: int = 128 * KiB
+    device: str = "ssd"  # "ssd" | "hdd"
     n_files: int = 2
     stripes_per_file: int = 2
     #: placement policy + failure-domain topology (repro.placement)
@@ -76,6 +78,11 @@ class ScenarioSpec:
     hedge_delay: float | None = 0.02
     max_inflight: int = 16
     slo_window: float = 0.05  # series bucket width (simulated seconds)
+    #: unified background-work scheduler (repro.background); None keeps the
+    #: subsystem disabled (the pre-PR-5 per-stream pacing)
+    background: Optional[BackgroundConfig] = None
+    #: admission override for frontend runs (e.g. the AIMD adaptive mode)
+    admission: Optional[Any] = None
     #: builds the fault schedule (specs are reusable: a fresh schedule per run)
     build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
         default=lambda spec: FaultSchedule()
@@ -90,9 +97,11 @@ class ScenarioSpec:
             m=self.m,
             block_size=self.block_size,
             log_unit_size=self.log_unit_size,
+            device=self.device,
             placement_policy=self.placement,
             osds_per_host=self.osds_per_host,
             hosts_per_rack=self.hosts_per_rack,
+            background=self.background or BackgroundConfig(),
             seed=seed,
         )
 
@@ -129,7 +138,13 @@ class ScenarioResult:
     #: shed/retry/hedge accounting — all folded into the canonical digest
     slo: dict = field(default_factory=dict)
     slo_series: dict = field(default_factory=dict)
+    slo_overall: dict = field(default_factory=dict)
     frontend_stats: dict = field(default_factory=dict)
+    #: unified background scheduler outcome (``spec.background`` runs):
+    #: per-stream bandwidth/backlog/time-to-drain + governor accounting,
+    #: folded into the canonical digest when the scheduler was enabled
+    background: dict = field(default_factory=dict)
+    governor: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = [
@@ -171,6 +186,23 @@ class ScenarioResult:
                 f"  rebalance totals: {stats.get('moved_bytes', 0) / 1e6:.1f} MB "
                 f"moved, time-to-balanced {stats.get('time_to_balanced', 0):.3f}s, "
                 f"final epoch {self.epoch}"
+            )
+        for stream, stats in self.background.items():
+            if not stats.get("submitted_items"):
+                continue
+            lines.append(
+                f"  bg {stream}: {stats['granted_bytes'] / 1e6:.2f} MB in "
+                f"{stats['granted_items']:.0f} grants, "
+                f"{stats['bandwidth'] / 1e6:.1f} MB/s, "
+                f"drained in {stats['time_to_drain']:.3f}s "
+                f"(backlog {stats['backlog_bytes']:.0f} B)"
+            )
+        if self.governor.get("samples"):
+            lines.append(
+                f"  bg governor: {self.governor['breaches']:.0f} breaches, "
+                f"min scale {self.governor['min_scale']:.2f}, final "
+                f"{self.governor['final_scale']:.2f} over "
+                f"{self.governor['samples']:.0f} samples"
             )
         lines.append(f"  digest: {self.digest}")
         return "\n".join(lines)
@@ -215,6 +247,7 @@ class ScenarioRunner:
 
             frontend = FrontEnd(
                 ecfs,
+                admission=spec.admission,
                 hedge_delay=spec.hedge_delay,
                 max_inflight=spec.max_inflight,
             )
@@ -262,19 +295,28 @@ class ScenarioRunner:
         slo_series = (
             frontend.slo.series(spec.slo_window) if frontend is not None else {}
         )
+        bg_enabled = ecfs.background.enabled
+        bg_stats = ecfs.background.stream_stats() if bg_enabled else {}
+        gov_stats = ecfs.background.governor_stats() if bg_enabled else {}
         digest = cluster_digest(ecfs)
+        extra: dict = {}
         if frontend is not None:
             # fold the SLO read-out into the canonical digest so the
             # determinism oracle also covers the metrics subsystem itself
+            extra["slo"] = slo
+            extra["series"] = slo_series
+        if bg_enabled:
+            # likewise the maintenance plane: per-stream grant accounting
+            # and the governor trajectory are digest-covered
+            extra["background"] = bg_stats
+            extra["governor"] = gov_stats
+        if extra:
             import hashlib
 
             from repro.fault.digest import canonical
 
-            digest = hashlib.sha256(
-                canonical(
-                    {"cluster": digest, "slo": slo, "series": slo_series}
-                ).encode()
-            ).hexdigest()
+            extra["cluster"] = digest
+            digest = hashlib.sha256(canonical(extra).encode()).hexdigest()
 
         wall = _time.perf_counter() - wall0
         return ScenarioResult(
@@ -300,5 +342,8 @@ class ScenarioRunner:
             rebalance_stats=ecfs.metrics.rebalance_stats(),
             slo=slo,
             slo_series=slo_series,
+            slo_overall=frontend.slo.overall() if frontend is not None else {},
             frontend_stats=frontend.stats() if frontend is not None else {},
+            background=bg_stats,
+            governor=gov_stats,
         )

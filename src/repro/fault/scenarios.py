@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.background.config import BackgroundConfig
 from repro.common.units import KiB, MiB
 from repro.fault.events import (
     BounceOSD,
@@ -610,6 +611,263 @@ def _spec_slo_steady() -> ScenarioSpec:
     )
 
 
+# ------------------------------------------------- background (bg-* grid)
+# The unified-maintenance-plane grid: every cell enables the per-OSD
+# weighted-fair arbiter (repro.background) so recycle, scrub, repair, and
+# rebalance draw from one governed budget while foreground traffic flows.
+# Sweepable as  python -m repro background  or  python -m repro sweep
+# --scenarios bg-...
+def _expect_bg_drained(*streams: str):
+    """Every named stream did work through the arbiter and drained fully
+    (plus: no stream anywhere still has backlog) — the starvation-freedom
+    acceptance shape of the ISSUE."""
+
+    def check(ecfs, injector):
+        stats = ecfs.background.stream_stats()
+        for stream in streams:
+            st = stats[stream]
+            if st["granted_items"] <= 0:
+                raise AssertionError(f"background stream {stream!r} did no work")
+            if st["backlog_bytes"] != 0:
+                raise AssertionError(
+                    f"background stream {stream!r} left "
+                    f"{st['backlog_bytes']:.0f}B of backlog"
+                )
+        if not ecfs.background.fully_drained:
+            raise AssertionError("background backlog remains after settle")
+
+    return check
+
+
+def _expect_governor_engaged(ecfs, injector):
+    gov = ecfs.background.governor_stats()
+    if gov["breaches"] <= 0:
+        raise AssertionError("the SLO governor never throttled")
+    if gov["min_scale"] >= 1.0:
+        raise AssertionError("governor breached but the token scale never moved")
+
+
+def _spec_bg_scrub_under_load() -> ScenarioSpec:
+    """Continuous-scrub story (the ROADMAP's 'scrub scheduling as a
+    background process'): a full verify pass runs in freeze mode *while*
+    the workload updates, paced by the scrub stream's weighted-fair share —
+    every checked stripe is captured consistent (no false mismatches) and
+    foreground service never stops."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return FaultSchedule().when(
+            after_ops(spec.n_ops // 3), ScrubPass(repair=True, freeze=True)
+        )
+
+    def check_scrubbed(ecfs, injector):
+        report = injector.scrub_reports[0]
+        if report.stripes_checked <= 0:
+            raise AssertionError("the under-load scrub checked nothing")
+        if report.mismatches:
+            raise AssertionError(
+                f"under-load scrub reported {len(report.mismatches)} torn-"
+                "capture mismatches; the freeze discipline failed"
+            )
+
+    return ScenarioSpec(
+        name="bg-scrub-under-load",
+        description="full scrub pass under live updates via the scrub stream",
+        method="tsue",
+        n_osds=12,
+        k=4,
+        m=2,
+        n_files=3,
+        stripes_per_file=4,
+        n_ops=180,
+        background=BackgroundConfig(enabled=True, bandwidth=128 * MiB),
+        build_faults=faults,
+        checks=[
+            _expect_all_ops_served,
+            _expect_no_recovery,
+            check_scrubbed,
+            _expect_bg_drained("scrub", "recycle"),
+        ],
+    )
+
+
+def _spec_bg_recycle_vs_recovery() -> ScenarioSpec:
+    """Recycle-vs-recovery contention: tiny log units keep the recycle
+    stream busy when a crash adds a repair storm on the same arbiter —
+    repair's heavier weight wins the shared budget, yet recycle keeps
+    making progress (weighted-fair, not strict-priority)."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return FaultSchedule().when(
+            after_recycles(3),
+            CrashOSD(osd=1, recover=True),
+            poll=0.002,
+            deadline=None,
+        )
+
+    return ScenarioSpec(
+        name="bg-recycle-vs-recovery",
+        description="crash rebuild and hot recycling share one arbitrated budget",
+        method="tsue",
+        log_unit_size=64 * KiB,
+        n_ops=220,
+        background=BackgroundConfig(enabled=True, bandwidth=128 * MiB),
+        build_faults=faults,
+        checks=[
+            _expect_recoveries(1),
+            _expect_bg_drained("recycle", "repair"),
+        ],
+    )
+
+
+# governor on/off pair: identical geometry, tenants, and maintenance storm
+# (a join-rebalance AND a 3-pass freeze-mode scrub land mid-window while
+# all three tenants stream arrivals); the only difference is the
+# SLO-pressure governor.  Foreground tail inflation comes from the
+# channels priority lanes cannot protect — stripe settle/freeze windows on
+# zipf-hot stripes and big-block channel occupancy — and the governor's
+# win is *timing*: throttled to the floor, most maintenance grants land
+# after the arrival window instead of inside it.  The acceptance criterion
+# (overall foreground p99 strictly better with the governor on, every
+# stream still drained) is asserted across the pair in
+# tests/test_background.py and reported nightly in BENCH_engine.json.
+_BG_GOV_GEOMETRY = dict(
+    n_osds=12,
+    k=4,
+    m=2,
+    # big blocks make each maintenance grant (6-block scrub scan, 1-block
+    # move) expensive relative to the small foreground appends — the
+    # regime where an ungoverned storm visibly inflates the tail
+    block_size=1 * MiB,
+    log_unit_size=1 * MiB,
+    n_files=3,
+    stripes_per_file=8,
+    n_ops=360,
+    frontend=True,
+    placement="crush",
+)
+
+
+def _bg_gov_tenants():
+    from repro.traces.replayer import TenantSpec
+
+    return (
+        TenantSpec(name="t-gold", qos="gold", rate=900.0, n_ops=120),
+        TenantSpec(name="t-silver", qos="silver", rate=700.0, n_ops=120),
+        TenantSpec(name="t-bronze", qos="bronze", rate=500.0, n_ops=120),
+    )
+
+
+def _bg_gov_config(governor: bool) -> BackgroundConfig:
+    return BackgroundConfig(
+        enabled=True,
+        bandwidth=1024 * MiB,  # ungoverned, the storm floods the window
+        governor=governor,
+        p99_target=0.0005,  # ~2x the steady-state p99 on this geometry
+        window=0.03,
+        interval=0.01,
+        floor=0.05,
+    )
+
+
+def _bg_gov_faults(spec: ScenarioSpec) -> FaultSchedule:
+    return (
+        FaultSchedule()
+        .when(
+            after_ops(spec.n_ops // 8),
+            ScrubPass(repair=False, freeze=True, passes=3),
+        )
+        .when(
+            after_ops(spec.n_ops // 6),
+            OSDJoin(weight=1.0, bw_cap=None, parallel=4),
+        )
+    )
+
+
+def _spec_bg_rebalance_governor_on() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bg-rebalance-governor-on",
+        description="maintenance storm (rebalance + scrub) under load, governor on",
+        method="tsue",
+        tenants=_bg_gov_tenants(),
+        background=_bg_gov_config(governor=True),
+        build_faults=_bg_gov_faults,
+        checks=[
+            _expect_rebalanced(1, max_move_factor=None),
+            _expect_epoch(1),
+            _expect_no_recovery,
+            _expect_frontend_served,
+            _expect_governor_engaged,
+            _expect_bg_drained("rebalance", "scrub", "recycle"),
+        ],
+        **_BG_GOV_GEOMETRY,
+    )
+
+
+def _spec_bg_rebalance_governor_off() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bg-rebalance-governor-off",
+        description="the same maintenance storm with the governor disabled (control)",
+        method="tsue",
+        tenants=_bg_gov_tenants(),
+        background=_bg_gov_config(governor=False),
+        build_faults=_bg_gov_faults,
+        checks=[
+            _expect_rebalanced(1, max_move_factor=None),
+            _expect_epoch(1),
+            _expect_no_recovery,
+            _expect_frontend_served,
+            _expect_bg_drained("rebalance", "scrub", "recycle"),
+        ],
+        **_BG_GOV_GEOMETRY,
+    )
+
+
+def _spec_slo_adaptive_brownout() -> ScenarioSpec:
+    """AIMD admission under a brownout: one disk slows 8x mid-run; the
+    adaptive controller cuts tenant rates on the windowed-p99 breach and
+    recovers them when the disk heals — shedding at the door instead of
+    timing out in the queues."""
+    from repro.frontend.admission import AdmissionConfig
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        # a cluster-wide brownout (every disk slows) so the pressure is
+        # seed-independent: whichever OSDs the arrival mix hits, the
+        # trailing-window p99 breaches the AIMD target
+        schedule = FaultSchedule()
+        for osd in range(spec.n_osds):
+            schedule.when(
+                after_ops(spec.n_ops // 6),
+                SlowDisk(osd=osd, factor=12.0, duration=0.1),
+            )
+        return schedule
+
+    def check_adapted(ecfs, injector):
+        stats = ecfs.frontend.stats()
+        if stats.get("admission_backoffs", 0) <= 0:
+            raise AssertionError("AIMD admission never backed off")
+        if stats.get("admission_min_rate_scale", 1.0) >= 1.0:
+            raise AssertionError("AIMD backed off but the rate never moved")
+
+    return ScenarioSpec(
+        name="slo-adaptive-brownout",
+        description="AIMD admission reacts to a slow-disk brownout",
+        method="tsue",
+        tenants=_slo_tenants(),
+        admission=AdmissionConfig(
+            # steady-state served p99 on this geometry is ~0.15 ms; the
+            # brownout pushes the trailing window past this threshold
+            adaptive=True, aimd_p99_target=0.0005, aimd_window=0.04
+        ),
+        build_faults=faults,
+        checks=[
+            _expect_no_recovery,
+            _expect_frontend_served,
+            check_adapted,
+        ],
+        **_SLO_GEOMETRY,
+    )
+
+
 _FACTORIES = [
     _spec_crash_mid_update,
     _spec_double_failure,
@@ -626,6 +884,11 @@ _FACTORIES = [
     _spec_slo_qos_crash,
     _spec_slo_qos_partition,
     _spec_slo_qos_rebalance,
+    _spec_slo_adaptive_brownout,
+    _spec_bg_scrub_under_load,
+    _spec_bg_recycle_vs_recovery,
+    _spec_bg_rebalance_governor_on,
+    _spec_bg_rebalance_governor_off,
 ]
 
 SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {

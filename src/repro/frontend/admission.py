@@ -11,6 +11,12 @@ Two gates stand between a submitted request and the dispatch queues:
   backlog the scavenger classes drop first, which is what preserves the
   gold availability SLO.
 
+With ``adaptive=True`` the bucket rates additionally follow an **AIMD
+loop** driven by the same windowed foreground-p99 pressure signal as the
+background scheduler's governor: a p99 breach cuts every tenant's rate
+multiplicatively, headroom restores it additively — back-pressure at the
+door instead of in the queues.  Off by default.
+
 Everything is arithmetic over the simulated clock — no RNG, no wall time —
 so admission decisions are bit-deterministic across runs and processes.
 """
@@ -19,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.control import aimd_step, validate_aimd
 from repro.frontend.request import QOS_CLASSES, QOS_RANK
 
 __all__ = ["TokenBucket", "AdmissionConfig", "AdmissionController"]
@@ -50,6 +57,13 @@ class TokenBucket:
             return True
         return False
 
+    def set_rate(self, rate: float, now: float) -> None:
+        """Change the refill rate (tokens accrued so far are kept)."""
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self._refill(now)
+        self.rate = rate
+
     def level(self, now: float) -> float:
         self._refill(now)
         return self._tokens
@@ -62,6 +76,28 @@ class AdmissionConfig:
     rate: float = 2000.0  # tokens/sec per tenant
     burst: float = 64.0  # bucket capacity
     max_queued: int = 96  # total queued requests before even gold sheds
+    # AIMD adaptive target rate, driven by the windowed foreground p99
+    # (the governor's pressure signal); off by default
+    adaptive: bool = False
+    aimd_p99_target: float = 0.02  # breach threshold (seconds)
+    aimd_window: float = 0.05  # trailing p99 window (seconds)
+    aimd_interval: float = 0.025  # min seconds between adjustments
+    aimd_backoff: float = 0.5  # multiplicative decrease on breach
+    aimd_recover: float = 0.1  # additive rate-scale recovery per interval
+    aimd_floor: float = 0.05  # lowest rate scale (admission never closes)
+
+    def validate(self) -> None:
+        if self.rate <= 0 or self.burst <= 0 or self.max_queued < 1:
+            raise ValueError("invalid admission rate/burst/max_queued")
+        if self.adaptive:
+            validate_aimd(
+                backoff=self.aimd_backoff,
+                recover=self.aimd_recover,
+                floor=self.aimd_floor,
+                target=self.aimd_p99_target,
+                window=self.aimd_window,
+                interval=self.aimd_interval,
+            )
 
     def depth_bound(self, qos: str) -> int:
         """Graduated shedding threshold for a class (gold = full bound)."""
@@ -75,17 +111,52 @@ class AdmissionController:
 
     def __init__(self, config: AdmissionConfig | None = None) -> None:
         self.config = config or AdmissionConfig()
+        self.config.validate()
         self._buckets: dict[str, TokenBucket] = {}
         self.shed_rate = 0  # rejected by the token bucket
         self.shed_depth = 0  # rejected by the queue-depth gate
+        # AIMD state (meaningful only when config.adaptive)
+        self.rate_scale = 1.0
+        self.min_rate_scale = 1.0
+        self.backoffs = 0  # multiplicative decreases taken
+        self._last_adapt = 0.0
 
     def bucket(self, tenant: str) -> TokenBucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
             bucket = self._buckets[tenant] = TokenBucket(
-                self.config.rate, self.config.burst
+                self.config.rate * self.rate_scale, self.config.burst
             )
         return bucket
+
+    def should_adapt(self, now: float) -> bool:
+        """True when the next :meth:`adapt` call would act — callers gate
+        the (tail-scan + percentile) pressure computation on this so the
+        hot completion path pays nothing inside the rate interval."""
+        return self.config.adaptive and now - self._last_adapt >= self.config.aimd_interval
+
+    def adapt(self, now: float, p99: float) -> None:
+        """One AIMD observation: scale every tenant's bucket rate by the
+        pressure verdict (at most once per ``aimd_interval``)."""
+        cfg = self.config
+        if not cfg.adaptive:
+            return
+        if now - self._last_adapt < cfg.aimd_interval:
+            return
+        self._last_adapt = now
+        breached = p99 > cfg.aimd_p99_target
+        if breached:
+            self.backoffs += 1
+        self.rate_scale = aimd_step(
+            self.rate_scale,
+            breached,
+            backoff=cfg.aimd_backoff,
+            recover=cfg.aimd_recover,
+            floor=cfg.aimd_floor,
+        )
+        self.min_rate_scale = min(self.min_rate_scale, self.rate_scale)
+        for bucket in self._buckets.values():
+            bucket.set_rate(cfg.rate * self.rate_scale, now)
 
     def admit(self, tenant: str, qos: str, now: float, queued: int) -> str | None:
         """None = admitted; otherwise the shed reason (for the result)."""

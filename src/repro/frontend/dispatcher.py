@@ -21,11 +21,24 @@ Failure semantics: transient errors (a crashed primary —
 :class:`~repro.common.errors.UnavailableError` — or an impossible decode)
 are retried while budget and deadline allow; the fault injector's recovery
 re-homes the block between attempts, so the retry layer *heals* crash and
-partition windows instead of surfacing them to tenants.  A leg that is
-still running when its request's deadline passes is abandoned (counted as
-a deadline miss) but keeps executing to completion — simulated work, like
-real work, cannot be un-sent — and :meth:`FrontEnd.quiesce` waits such
-stragglers out before a run is digested.
+partition windows instead of surfacing them to tenants.  When a request's
+deadline passes mid-flight it is abandoned (counted as a deadline miss)
+and two things happen to whatever is still running on its behalf:
+
+* **read legs are cancelled** through the sim engine's cancellable
+  machinery (:meth:`~repro.sim.core.Process.cancel_chain`): queued device
+  claims are withdrawn and pending service/net timeouts dropped, so an
+  abandoned hedge no longer burns cluster bandwidth to completion.  Work
+  already handed to another actor (a fetch mid-RPC) runs out, like a real
+  request already on the wire;
+* **update legs keep executing** — a mutation cannot be un-sent — but the
+  whole leg tree is *demoted* out of the FOREGROUND device lane (the
+  shared :class:`~repro.sim.core.Lane` cell flips to
+  ``IOPriority.DEMOTED``), so an expired op stops competing with live
+  foreground traffic while still beating the maintenance plane.
+
+:meth:`FrontEnd.quiesce` waits surviving stragglers out before a run is
+digested.
 
 Scheduling decisions iterate sorted structures only, so the whole pipeline
 is bit-deterministic across processes and hash seeds.
@@ -38,6 +51,8 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.common.errors import ReproError, is_retryable
 from repro.frontend import ops as _ops
+from repro.sim import Interrupt, Lane
+from repro.storage.base import IOPriority
 from repro.frontend.admission import AdmissionConfig, AdmissionController
 from repro.frontend.request import (
     DEFAULT_DEADLINES,
@@ -108,6 +123,8 @@ class FrontEnd:
             "retries": 0,
             "hedges": 0,
             "hedge_wins": 0,
+            "cancelled_legs": 0,
+            "demoted": 0,
         }
 
     # ------------------------------------------------------------------ API
@@ -206,6 +223,9 @@ class FrontEnd:
         out["shed_queue_depth"] = float(self.admission.shed_depth)
         out["retry_budget_spent"] = float(self.budget.spent)
         out["retry_budget_denied"] = float(self.budget.denied)
+        if self.admission.config.adaptive:
+            out["admission_backoffs"] = float(self.admission.backoffs)
+            out["admission_min_rate_scale"] = self.admission.min_rate_scale
         return out
 
     # ------------------------------------------------------------ scheduler
@@ -259,6 +279,10 @@ class FrontEnd:
             proc = env.process(
                 self._handle(request, done), name=f"fe-req{request.req_id}"
             )
+            # one scheduling-lane cell per request: every process spawned
+            # under the handler shares it, so a deadline expiry can demote
+            # the whole in-flight tree's device I/O in one assignment
+            proc.lane = Lane()
             self._track(proc)
 
     # -------------------------------------------------------------- handling
@@ -267,6 +291,14 @@ class FrontEnd:
         if result.hedge_won:
             self.counters["hedge_wins"] += 1
         self.slo.record(request, result)
+        now = self.ecfs.env.now
+        if self.admission.should_adapt(now):
+            # AIMD admission rides the same windowed-p99 pressure signal as
+            # the background governor, sampled at completion edges (the
+            # p99 tail scan is gated on the adapt interval — completions
+            # inside it pay nothing)
+            cfg = self.admission.config
+            self.admission.adapt(now, self.slo.recent_p99(cfg.aimd_window, now))
 
     def _handle(self, request: Request, done) -> Generator:
         env = self.ecfs.env
@@ -382,6 +414,7 @@ class FrontEnd:
                 # (semantically — and the "err" path would try to retry past
                 # the deadline and land on STATUS_FAILED by a timestamp tie)
                 if deadline_ev is not None and deadline_ev.processed:
+                    self._abandon(request, legs)
                     return ("deadline", None, False, did_hedge)
                 if hedge_timer is not None and hedge_timer.processed:
                     hedge_timer = None
@@ -411,6 +444,22 @@ class FrontEnd:
             if deadline_ev is not None and not deadline_ev.processed:
                 deadline_ev.cancel()
 
+    def _abandon(self, request: Request, legs: list[tuple]) -> None:
+        """Deadline expiry: cancel still-running read legs outright; demote
+        whatever must run to completion out of the FOREGROUND lane."""
+        env = self.ecfs.env
+        active = env.active_process  # the request's handler process
+        lane = active.lane if active is not None else None
+        if lane is not None and lane.priority is None:
+            lane.priority = IOPriority.DEMOTED
+            self.counters["demoted"] += 1
+        if request.op != "read":
+            return
+        for proc, _is_hedge in legs:
+            if proc.is_alive:
+                proc.cancel_chain("deadline abandoned")
+                self.counters["cancelled_legs"] += 1
+
     def _attempt(self, request: Request, client) -> Generator:
         """The primary leg: one pass through the shared dispatch ops."""
         if request.op == "read":
@@ -426,9 +475,16 @@ class FrontEnd:
         return (yield from _ops.execute_update(self.ecfs, client.name, op))
 
     def _safe(self, gen) -> Generator:
-        """Wrap a leg so failures become values, never unhandled events."""
+        """Wrap a leg so failures become values, never unhandled events.
+
+        A cancelled leg (deadline abandonment interrupting its deepest
+        frame) surfaces here as :class:`Interrupt` after every intermediate
+        frame's cleanup ran; it becomes a plain failed-value like any other
+        lost leg."""
         try:
             value = yield self.ecfs.env.process(gen)
         except ReproError as exc:
             return (False, exc)
+        except Interrupt as exc:
+            return (False, ReproError(f"leg cancelled: {exc.cause}"))
         return (True, value)

@@ -54,12 +54,17 @@ class SLOTracker:
         self.env = env
         self.targets = dict(SLO_TARGETS if targets is None else targets)
         self.records: list[SLORecord] = []
+        # parallel served-latency series (completion-time order), so the
+        # windowed pressure read-out shares the collector's tail scan
+        self._served_t: list[float] = []
+        self._served_lat: list[float] = []
 
     # ------------------------------------------------------------- recording
     def record(self, request: Request, result: RequestResult) -> None:
+        now = self.env.now
         self.records.append(
             SLORecord(
-                t=self.env.now,
+                t=now,
                 tenant=request.tenant,
                 qos=request.qos,
                 op=request.op,
@@ -72,6 +77,20 @@ class SLOTracker:
                 retries=result.retries,
             )
         )
+        if result.status == "ok":
+            self._served_t.append(now)
+            self._served_lat.append(result.latency)
+
+    def recent_p99(self, window: float, now: float | None = None) -> float:
+        """p99 of *served* latencies completed in the trailing ``window``
+        seconds — the live pressure signal the background governor and the
+        adaptive-admission AIMD loop both consume."""
+        if now is None:
+            now = self.env.now
+        recent = MetricsCollector.tail_window(
+            self._served_t, self._served_lat, now - window
+        )
+        return MetricsCollector.percentile_stats(recent, (99.0,))["p99"]
 
     # -------------------------------------------------------------- read-out
     def _groups(self) -> dict[tuple[str, str], list[SLORecord]]:
@@ -113,6 +132,21 @@ class SLOTracker:
         out.update(
             MetricsCollector.percentile_stats([r.latency for r in served])
         )
+        return out
+
+    def overall(self) -> dict[str, float]:
+        """Aggregate foreground SLO across every tenant and class — the
+        one-number read-outs (p50/p99/p999 latency, availability) the
+        background governor's acceptance comparison and the nightly bench
+        track.  Derived from the same records as :meth:`summary`."""
+        recs = self.records
+        met = sum(1 for r in recs if r.met)
+        out = {
+            "submitted": float(len(recs)),
+            "served": float(len(self._served_lat)),
+            "availability": met / len(recs) if recs else 0.0,
+        }
+        out.update(MetricsCollector.percentile_stats(self._served_lat))
         return out
 
     def summary(self) -> dict[str, dict[str, float]]:

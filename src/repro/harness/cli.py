@@ -206,6 +206,61 @@ def _run_slo(args) -> int:
     return 0
 
 
+def _run_background(args) -> int:
+    """Run the bg-* maintenance-plane grid (or one bg-* scenario): per-stream
+    bandwidth/backlog/time-to-drain plus the governor on/off p99 contrast."""
+    # imported lazily so plain experiment runs stay light
+    from repro.fault.runner import ScenarioRunner
+    from repro.fault.scenarios import SCENARIOS, get_scenario
+    from repro.metrics.tables import format_table
+
+    if args.name is not None:
+        names = [args.name]
+    else:
+        names = sorted(n for n in SCENARIOS if n.startswith("bg-"))
+    grid: dict[str, dict[str, float]] = {}
+    overall: dict[str, dict] = {}
+    for name in names:
+        try:
+            spec = get_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        result = ScenarioRunner(spec).run(seed=args.seed)
+        print(result.summary())
+        print()
+        overall[name] = result
+        for stream, stats in result.background.items():
+            if not stats["submitted_items"]:
+                continue
+            grid[f"{name} {stream}"] = {
+                "grants": stats["granted_items"],
+                "MB": stats["granted_bytes"] / 1e6,
+                "MB/s": stats["bandwidth"] / 1e6,
+                "drain s": stats["time_to_drain"],
+                "backlog B": stats["backlog_bytes"],
+            }
+    print(
+        format_table(
+            grid,
+            title="background grid — per maintenance stream",
+            floatfmt="{:,.2f}",
+        )
+    )
+    on = overall.get("bg-rebalance-governor-on")
+    off = overall.get("bg-rebalance-governor-off")
+    if on is not None and off is not None and on.slo_overall and off.slo_overall:
+        p_on = on.slo_overall["p99"] * 1e3
+        p_off = off.slo_overall["p99"] * 1e3
+        print(
+            f"\ngovernor contrast: foreground p99 {p_off:.3f} ms (off) -> "
+            f"{p_on:.3f} ms (on), "
+            f"{on.governor.get('breaches', 0):.0f} breaches, min scale "
+            f"{on.governor.get('min_scale', 1.0):.2f}"
+        )
+    return 0
+
+
 def _run_topology(args) -> int:
     """Static policy x event movement matrix, or a live elastic scenario."""
     # imported lazily so plain experiment runs stay light
@@ -299,10 +354,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "list", "scenario", "slo", "sweep", "topology"],
+        + ["all", "background", "list", "scenario", "slo", "sweep", "topology"],
         help="artifact to regenerate ('all' runs everything, 'list' "
         "enumerates, 'scenario' runs the fault-injection harness, 'slo' "
         "runs the QoS x fault front-end grid with per-tenant SLO metrics, "
+        "'background' runs the bg-* maintenance-plane grid with per-stream "
+        "bandwidth/drain read-outs and the governor on/off contrast, "
         "'sweep' runs a parallel scenario/experiment grid, 'topology' "
         "analyzes placement policies under elastic topology events)",
     )
@@ -414,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenario(args)
     if args.experiment == "slo":
         return _run_slo(args)
+    if args.experiment == "background":
+        return _run_background(args)
     if args.experiment == "sweep":
         return _run_sweep(args)
     if args.experiment == "topology":

@@ -75,7 +75,10 @@ __all__ = [
 #: 3: front-end subsystem (ScenarioResult gained slo/slo_series/
 #:    frontend_stats fields — schema-2 pickles would unpickle without
 #:    them; degraded reads skip unreachable sources)
-CACHE_SCHEMA = 3
+#: 4: unified background scheduler (ScenarioResult gained slo_overall/
+#:    background/governor fields; deadline-abandoned read legs are now
+#:    cancelled, shifting slo-* digest VALUES; scrub grants per stripe)
+CACHE_SCHEMA = 4
 
 
 def config_key(cfg: ExperimentConfig) -> str:

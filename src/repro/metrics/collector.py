@@ -121,6 +121,31 @@ class MetricsCollector:
         centers = t0 + (np.arange(nbins) + 0.5) * window
         return centers, [v[idx == b] for b in range(nbins)]
 
+    @staticmethod
+    def tail_window(times, values, cutoff: float) -> list:
+        """Values whose times fall at/after ``cutoff``, scanned from the
+        tail of time-ordered parallel sequences (only the trailing window
+        is touched) — the shared scan behind every windowed pressure
+        signal (the governor's and adaptive admission's p99 read-outs)."""
+        out = []
+        for i in range(len(times) - 1, -1, -1):
+            if times[i] < cutoff:
+                break
+            out.append(values[i])
+        return out
+
+    def recent_foreground_p99(self, window: float, now: float | None = None) -> float:
+        """p99 of foreground (update + read) latencies completed within the
+        trailing ``window`` seconds — the raw pressure signal the background
+        governor consumes when no front-end SLO tracker is attached."""
+        if now is None:
+            now = self.env.now
+        cutoff = now - window
+        recent: list[float] = []
+        for series in (self.updates, self.reads):
+            recent.extend(self.tail_window(series.times, series.latencies, cutoff))
+        return self.percentile_stats(recent, (99.0,))["p99"]
+
     def rebalance_stats(self) -> dict[str, float]:
         """Moved bytes/blocks and time-to-balanced of epoch rebalances —
         the span from the first to the last committed move this run."""

@@ -8,12 +8,17 @@ recovery discipline — copies the bytes to the destination, and commits the
 new home through :meth:`PlacementMap.commit_move`.  Clients that resolved
 the old home mid-flight chase the remap (see ``Client.update``).
 
-A global bandwidth cap throttles the fleet of workers together: moves
-reserve their slot on a shared token timeline, so a cap of B bytes/sec is
-honoured regardless of worker parallelism.  The source copy is left in
-place until the node is retired — an in-flight read that resolved the old
-home sees the (at worst slightly stale) old bytes rather than a hole,
-matching how production migrations double-serve during a transfer window.
+Pacing comes from one of two places.  With the unified background
+scheduler enabled (``ClusterConfig.background``), every move submits a
+:class:`~repro.background.work.MoveOp` to the per-OSD arbiter's
+``rebalance`` stream — weighted-fair against recycle/scrub/repair,
+subordinated to foreground backlog, throttled by the SLO governor.
+Otherwise the legacy global bandwidth cap applies: moves reserve their
+slot on a shared token timeline, so a cap of B bytes/sec is honoured
+regardless of worker parallelism.  The source copy is left in place until
+the node is retired — an in-flight read that resolved the old home sees
+the (at worst slightly stale) old bytes rather than a hole, matching how
+production migrations double-serve during a transfer window.
 
 Known limitation: replica-log content written under an earlier epoch stays
 on the old replica node; a crash *during* a rebalance therefore replays
@@ -28,6 +33,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
+from repro.background.work import MoveOp
 from repro.placement.planner import MigrationPlan
 from repro.storage.base import IOKind, IOPriority
 
@@ -128,9 +134,17 @@ class Rebalancer:
                 self.skipped += 1
                 yield env.timeout(0)
 
-    def _throttle(self, nbytes: int) -> Generator:
-        """Reserve ``nbytes`` on the shared bandwidth timeline."""
-        env = self.ecfs.env
+    def _throttle(self, nbytes: int, src_name: str) -> Generator:
+        """Pace one move: a ``rebalance``-stream grant from the unified
+        background scheduler when it is enabled, else the legacy shared
+        bandwidth-cap timeline."""
+        ecfs = self.ecfs
+        if ecfs.background.enabled:
+            yield from ecfs.background.request(
+                MoveOp(osd=src_name, nbytes=nbytes, tag="rebalance")
+            )
+            return
+        env = ecfs.env
         if self.bandwidth_cap is None:
             return
         start = max(env.now, self._bw_free_at)
@@ -153,7 +167,7 @@ class Rebalancer:
             self.skipped += 1
             return
 
-        yield from self._throttle(bs)
+        yield from self._throttle(bs, src.name)
         # charge the shipping cost up front (background priority); the bytes
         # themselves are captured atomically under the freeze below
         yield from src.io_block(

@@ -21,6 +21,7 @@ from repro.sim.core import (
     Environment,
     Event,
     Interrupt,
+    Lane,
     Process,
     SimulationError,
     Timeout,
@@ -33,6 +34,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "Lane",
     "PriorityResource",
     "Process",
     "Resource",

@@ -36,6 +36,7 @@ __all__ = [
     "Interrupt",
     "Event",
     "Timeout",
+    "Lane",
     "Process",
     "AllOf",
     "AnyOf",
@@ -209,6 +210,30 @@ class Initialize(Event):
         heappush(env._heap, (env._now, 0, tie, self))
 
 
+class Lane:
+    """A shared scheduling-lane cell carried by a tree of processes.
+
+    ``priority`` (when set) is a *floor* on the I/O priority of every device
+    request issued under the lane: callers that would submit at a stronger
+    (numerically lower) priority are demoted to the lane's value, while
+    already-weaker requests are untouched.  Processes inherit their parent's
+    lane cell at spawn time, so mutating the one cell re-prioritizes the
+    whole in-flight tree — this is how a deadline-expired front-end request
+    stops competing at FOREGROUND priority mid-execution.
+    """
+
+    __slots__ = ("priority",)
+
+    def __init__(self, priority: Optional[int] = None) -> None:
+        self.priority = priority
+
+    def floor(self, priority: int) -> int:
+        """Apply the lane to a call-site priority (identity when unset)."""
+        if self.priority is not None and self.priority > priority:
+            return self.priority
+        return priority
+
+
 class Process(Event):
     """A running generator; also an event that fires when the generator ends.
 
@@ -217,7 +242,7 @@ class Process(Event):
     exception is thrown in).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "lane")
 
     def __init__(
         self,
@@ -231,11 +256,34 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # lane inheritance: a process spawned from inside another process
+        # shares its parent's lane cell (None for top-level processes)
+        active = env._active_proc
+        self.lane: Optional[Lane] = active.lane if active is not None else None
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
         return self._state == _PENDING
+
+    def cancel_chain(self, cause: Any = None) -> None:
+        """Interrupt the *deepest* process this one is (transitively) waiting
+        on, so the exception unwinds through every intermediate frame in
+        inner-to-outer order — each frame's ``with``/``finally`` cleanup runs
+        and each intermediate process failure is consumed by its waiter.
+
+        Used to cancel abandoned front-end read legs: queued resource claims
+        are withdrawn (context managers release them), pending service/net
+        timeouts are cancelled, and no frame is left holding a device.  A
+        frame waiting on a *condition* (AllOf/AnyOf) is interrupted itself;
+        the condition's member processes are not cancelled (partial
+        cancellation — simulated work already dispatched to other actors
+        runs out, like real RPCs already on the wire).
+        """
+        proc: "Process" = self
+        while isinstance(proc._target, Process) and proc._target.is_alive:
+            proc = proc._target
+        proc.interrupt(cause)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current sim time.

@@ -95,6 +95,20 @@ class Resource:
     def queue_len(self) -> int:
         return len(self.queue)
 
+    def queued_below(self, priority: int) -> int:
+        """Waiting (not yet granted) requests stronger than ``priority``.
+
+        The lane-aware read-out a background arbiter uses to subordinate its
+        grants to foreground pressure: a non-zero count means foreground I/O
+        is *backlogged* on this resource (merely-held channels don't count —
+        a device serving one foreground command is busy, not saturated).
+        """
+        return sum(
+            1
+            for _key, req in self.queue
+            if req.priority < priority and not req.triggered
+        )
+
     def request(self, priority: int = 0) -> Request:
         return Request(self, priority)
 

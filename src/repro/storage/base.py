@@ -17,9 +17,20 @@ class IOKind(enum.Enum):
 
 
 class IOPriority(enum.IntEnum):
-    """Queue ordering on the device: foreground beats background recycle."""
+    """Queue ordering on the device (lower value wins the queue).
+
+    Three lanes, used end-to-end by every I/O submitter:
+
+    * ``FOREGROUND`` — client-facing request work;
+    * ``DEMOTED`` — foreground work whose deadline already expired: the
+      tenant stopped waiting, so it must not compete with live foreground
+      traffic, but it still beats maintenance (its effects are acked state);
+    * ``BACKGROUND`` — the maintenance plane (recycle, scrub, repair,
+      rebalance), arbitrated by :mod:`repro.background`.
+    """
 
     FOREGROUND = 0
+    DEMOTED = 5
     BACKGROUND = 10
 
 

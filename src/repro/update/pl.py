@@ -2,18 +2,24 @@
 
 Data blocks update in place (write-after-read to get the delta); the parity
 delta for each parity block is appended to that parity OSD's *parity log*
-(a large sequential log).  Log recycling is deferred until a space threshold
-— effectively until flush/recovery in a bounded run — so PL's foreground is
-fast but it carries the largest log debt into recovery.
+(a large sequential log).  Log recycling is deferred until a space
+watermark (``ClusterConfig.recycle_high_watermark`` — effectively until
+flush/recovery in a bounded run, since the default watermark is 1 GiB) —
+so PL's foreground is fast but it carries the largest log debt into
+recovery.  When a node's log does pass the high watermark, a background
+recycle drains it below the low watermark through the unified maintenance
+scheduler's ``recycle`` stream.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from typing import Generator
 
 import numpy as np
 
+from repro.background.work import RecycleOp
 from repro.cluster.client import UpdateOp
 from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
@@ -25,17 +31,49 @@ from repro.update.base import UpdateMethod
 __all__ = ["ParityLogging"]
 
 
+class _DeprecatedThreshold:
+    """Shim for the retired ``ParityLogging.RECYCLE_THRESHOLD`` module
+    constant: reading it warns and reports the config default — the live
+    knob is ``ClusterConfig.recycle_high_watermark``.  A data descriptor,
+    so *instance* writes to the old knob fail loudly instead of silently
+    doing nothing (class-level rebinding cannot be intercepted without a
+    metaclass; the AttributeError message covers the common tuning path).
+    """
+
+    def __get__(self, obj, objtype=None) -> int:
+        warnings.warn(
+            "ParityLogging.RECYCLE_THRESHOLD is deprecated; use "
+            "ClusterConfig.recycle_high_watermark (cluster/config.py)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if obj is not None:
+            return obj.ecfs.config.recycle_high_watermark
+        from repro.cluster.config import ClusterConfig
+
+        return ClusterConfig.recycle_high_watermark
+
+    def __set__(self, obj, value) -> None:
+        raise AttributeError(
+            "RECYCLE_THRESHOLD no longer drives recycling; set "
+            "ClusterConfig.recycle_high_watermark / recycle_low_watermark "
+            "instead"
+        )
+
+
 class ParityLogging(UpdateMethod):
     name = "pl"
 
-    #: recycle when a node's parity log exceeds this many bytes
-    RECYCLE_THRESHOLD = 1 << 30
+    #: deprecated: see ClusterConfig.recycle_high_watermark
+    RECYCLE_THRESHOLD = _DeprecatedThreshold()
 
     def __init__(self, ecfs) -> None:
         super().__init__(ecfs)
         # per-OSD: list of (parity BlockId, offset, pdelta) in arrival order
         self._logs: dict[str, list[tuple[BlockId, int, np.ndarray]]] = defaultdict(list)
         self._log_bytes: dict[str, int] = defaultdict(int)
+        #: nodes with a watermark-triggered background recycle in flight
+        self._draining: set[str] = set()
 
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         delta = yield from self.data_rmw(osd, op)
@@ -62,8 +100,33 @@ class ParityLogging(UpdateMethod):
             raise
         self._logs[posd.name].append((pbid, op.offset, pdelta))
         self._log_bytes[posd.name] += op.size
+        self._maybe_trigger_recycle(posd)
 
     # ------------------------------------------------------------- recycle
+    def _maybe_trigger_recycle(self, posd: OSD) -> None:
+        """High-watermark trigger: a node whose parity log passed
+        ``recycle_high_watermark`` drains below the low watermark in the
+        background (one drain per node at a time)."""
+        name = posd.name
+        if name in self._draining:
+            return
+        if self._log_bytes[name] < self.ecfs.config.recycle_high_watermark:
+            return
+        self._draining.add(name)
+        self.env.process(self._watermark_drain(posd), name=f"pl-wm-{name}")
+
+    def _watermark_drain(self, posd: OSD) -> Generator:
+        try:
+            yield from self._recycle_node(
+                posd,
+                IOPriority.BACKGROUND,
+                target_bytes=self.ecfs.config.recycle_low_watermark,
+            )
+        except IntegrityError:
+            pass  # the node died mid-drain; resync marks cover the rows
+        finally:
+            self._draining.discard(posd.name)
+
     def flush(self) -> Generator:
         jobs = [
             self.env.process(self._recycle_node(osd), name=f"pl-flush-{osd.name}")
@@ -75,15 +138,55 @@ class ParityLogging(UpdateMethod):
         else:
             yield self.env.timeout(0)
 
-    def _recycle_node(self, posd: OSD, priority: int = IOPriority.BACKGROUND) -> Generator:
-        """Replay this node's parity log: read deltas back, RMW parity blocks."""
-        entries = self._logs.pop(posd.name, [])
-        self._log_bytes[posd.name] = 0
+    def _recycle_node(
+        self,
+        posd: OSD,
+        priority: int = IOPriority.BACKGROUND,
+        target_bytes: int = 0,
+    ) -> Generator:
+        """Replay this node's parity log: read deltas back, RMW parity blocks.
+
+        ``target_bytes > 0`` drains oldest-first only until the remaining
+        log drops to the target (the watermark path); 0 drains everything
+        (flush / recovery preparation).
+        """
+        log = self._logs.get(posd.name)
+        if not log:
+            return
+        if target_bytes > 0:
+            excess = self._log_bytes[posd.name] - target_bytes
+            drop = freed = 0
+            while drop < len(log) and freed < excess:
+                freed += int(log[drop][2].shape[0])
+                drop += 1
+            entries = log[:drop]
+            del log[:drop]
+            self._log_bytes[posd.name] -= freed
+        else:
+            entries = self._logs.pop(posd.name, [])
+            self._log_bytes[posd.name] = 0
         if not entries:
             return
         stripes = {(pbid.file_id, pbid.stripe) for pbid, _o, _d in entries}
+        # busy-mark BEFORE the arbiter grant: while the grant is pending the
+        # popped deltas are in neither the visible log nor the blocks, and a
+        # concurrent reconstruction must not capture that torn state
         self._stripes_busy_begin(stripes)
         try:
+            # unified maintenance plane: the whole replay is one recycle
+            # grant — but only when recycling AS background work.  A
+            # FOREGROUND drain (recovery_prepare's pre-rebuild settlement)
+            # must not queue behind governed background pacing: that would
+            # stretch the reduced-redundancy exposure window the repair
+            # stream's heavy weight exists to minimize.
+            if priority >= IOPriority.BACKGROUND:
+                yield from self.ecfs.background.request(
+                    RecycleOp(
+                        osd=posd.name,
+                        nbytes=sum(int(d.shape[0]) for _p, _o, d in entries),
+                        tag="paritylog",
+                    )
+                )
             # PL's recycle is random-read-heavy: the log is read back and
             # every entry is applied individually (no locality merging).
             for pbid, offset, pdelta in entries:

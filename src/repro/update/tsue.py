@@ -38,7 +38,7 @@ from repro.core.intervals import ExtentMap, MergePolicy
 from repro.common.errors import IntegrityError
 from repro.core.logpool import LogPool
 from repro.core.logunit import LogUnit, LogUnitState, RawKey
-from repro.core.recycler import RecyclePlanner
+from repro.core.recycler import RecyclePlanner, unit_recycle_op
 from repro.gf.field import gf_mul_scalar
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
@@ -266,6 +266,13 @@ class TSUE(UpdateMethod):
     def _recycler_loop(self, osd: OSD, pool: LogPool, pidx: int, fn) -> Generator:
         while True:
             unit = yield pool.recyclable.get()
+            # unified maintenance plane: wait for the arbiter's paced grant
+            # before spending device bandwidth (a no-op when disabled —
+            # the unit is still RECYCLABLE while parked, so settlement and
+            # backlog accounting see it)
+            yield from self.ecfs.background.request(
+                unit_recycle_op(osd.name, pool.name, unit)
+            )
             unit.start_recycle(self.env.now)
             try:
                 yield from fn(osd, pool, pidx, unit)

@@ -1,0 +1,477 @@
+"""Unified background-work scheduler: arbiter, lanes, governor, and the
+bg-* scenario battery.
+
+Covers the ISSUE's acceptance criteria directly:
+
+* weighted-fair arbitration + strict foreground subordination (with the
+  aging bound that guarantees starvation freedom),
+* end-to-end priority lanes (deadline demotion through the whole process
+  tree) and abandoned-read-leg cancellation,
+* the governor contrast: foreground p99 strictly better with the governor
+  on than off in the maintenance-storm scenario, every stream drained,
+* determinism: in-process double-run, SweepExecutor pool vs serial, and
+  PYTHONHASHSEED-varied subprocesses,
+* a starvation-freedom property: every admitted background stream makes
+  progress under sustained foreground load,
+* the recycle-watermark config move (PL) with its deprecation shim.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.background import (
+    BackgroundConfig,
+    BackgroundScheduler,
+    MoveOp,
+    RecycleOp,
+    RepairOp,
+    ScrubOp,
+)
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ecfs import ECFS
+from repro.common.units import KiB, MiB
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import SCENARIOS, get_scenario
+from repro.sim import Environment, Lane
+from repro.storage.base import IOKind, IOPriority
+
+
+def _bg_cluster(seed: int = 7, *, bg: BackgroundConfig | None = None, **kwargs) -> ECFS:
+    cfg = ClusterConfig(
+        n_osds=12,
+        k=4,
+        m=2,
+        block_size=64 * KiB,
+        log_unit_size=128 * KiB,
+        background=bg if bg is not None else BackgroundConfig(enabled=True),
+        seed=seed,
+        **kwargs,
+    )
+    ecfs = ECFS(cfg, method="tsue")
+    ecfs.populate(2, 2, fill="random")
+    return ecfs
+
+
+# ------------------------------------------------------------------ config
+def test_background_config_validation():
+    BackgroundConfig().validate()
+    with pytest.raises(ValueError):
+        BackgroundConfig(bandwidth=0).validate()
+    with pytest.raises(ValueError):
+        BackgroundConfig(weight_repair=0).validate()
+    with pytest.raises(ValueError):
+        BackgroundConfig(backoff=1.5).validate()
+    with pytest.raises(ValueError):
+        BackgroundConfig(floor=0.0).validate()
+    assert BackgroundConfig().weight("repair") == 4.0
+    with pytest.raises(ValueError):
+        BackgroundConfig().weight("compaction")
+
+
+def test_work_item_streams_and_validation():
+    assert RecycleOp(osd="osd0", nbytes=1).stream == "recycle"
+    assert ScrubOp(osd="osd0", nbytes=1).stream == "scrub"
+    assert RepairOp(osd="osd0", nbytes=1).stream == "repair"
+    assert MoveOp(osd="osd0", nbytes=1).stream == "rebalance"
+    with pytest.raises(ValueError):
+        RecycleOp(osd="osd0", nbytes=-1)
+
+
+# --------------------------------------------------------------- scheduler
+def test_disabled_scheduler_is_a_strict_noop():
+    """With the subsystem disabled a request creates NO event and consumes
+    NO simulated time — the mechanism behind the byte-identical default."""
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=False))
+    steps_before = ecfs.env.steps
+    gen = ecfs.background.request(RecycleOp(osd="osd0", nbytes=1 << 20))
+    with pytest.raises(StopIteration):
+        next(gen)
+    assert ecfs.env.steps == steps_before
+    assert not ecfs.background.active
+
+
+def test_grants_are_paced_by_bandwidth_and_scale():
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=True, bandwidth=1 * MiB))
+    env = ecfs.env
+
+    def work():
+        yield from ecfs.background.request(ScrubOp(osd="osd0", nbytes=512 * KiB))
+
+    t0 = env.now
+    env.run(env.process(work()))
+    # 512 KiB at 1 MiB/s = 0.5 s of token pacing
+    assert env.now - t0 == pytest.approx(0.5, rel=1e-6)
+    stats = ecfs.background.stream_stats()["scrub"]
+    assert stats["granted_items"] == 1 and stats["backlog_bytes"] == 0
+
+
+def test_weighted_fairness_orders_contended_grants():
+    """With repair weighted 4x over scrub, a contended OSD budget grants
+    repair items ahead of an earlier-submitted same-size scrub backlog."""
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=True, bandwidth=1 * MiB))
+    env = ecfs.env
+    order: list[str] = []
+
+    def submit(item, label):
+        def gen():
+            yield from ecfs.background.request(item)
+            order.append(label)
+
+        return env.process(gen())
+
+    procs = []
+    # scrub submits first, then repair: both queues deep enough to contend
+    for i in range(3):
+        procs.append(submit(ScrubOp(osd="osd0", nbytes=64 * KiB), f"scrub{i}"))
+    for i in range(3):
+        procs.append(submit(RepairOp(osd="osd0", nbytes=64 * KiB), f"repair{i}"))
+    env.run(env.all_of(procs))
+    # the first scrub grant is already at the heap head, but the repair
+    # stream's 4x weight packs all its grants before scrub's remainder
+    assert order.index("repair2") < order.index("scrub1")
+    assert [o for o in order if o.startswith("repair")] == [
+        "repair0", "repair1", "repair2"
+    ]
+
+
+def test_grants_yield_to_foreground_backlog_with_aging_bound():
+    """A grant holds while the device has queued foreground I/O, but the
+    aging bound releases it after max_yield_polls — starvation freedom."""
+    cfg = BackgroundConfig(
+        enabled=True, bandwidth=1024 * MiB, yield_poll=1e-3, max_yield_polls=5
+    )
+    ecfs = _bg_cluster(bg=cfg)
+    env = ecfs.env
+    osd = ecfs.osds[0]
+
+    # saturate the device with queued foreground I/O for the whole test
+    def fg_flood():
+        for _ in range(2000):
+            yield from osd.io_block(IOKind.READ, _bid, 0, 4096)
+
+    _bid = sorted(b for b in ecfs.known_blocks if ecfs.osd_hosting(b) is osd)[0]
+    floods = [env.process(fg_flood(), name=f"flood{i}") for i in range(4)]
+
+    granted_at = []
+
+    def bg_work():
+        yield env.timeout(0.001)  # let the flood build a backlog
+        yield from ecfs.background.request(ScrubOp(osd=osd.name, nbytes=4096))
+        granted_at.append(env.now)
+
+    env.run(env.process(bg_work()))
+    assert granted_at, "background work starved under sustained foreground load"
+    # released by the aging bound: ~5 polls of 1ms, not the flood's full span
+    assert granted_at[0] <= 0.001 + 5 * 1e-3 + 1e-6
+    for proc in floods:
+        if proc.is_alive:
+            proc.interrupt()
+
+
+def test_starvation_freedom_every_stream_progresses():
+    """Property: under sustained foreground load, every admitted stream
+    (recycle/scrub/repair/rebalance) makes progress."""
+    cfg = BackgroundConfig(enabled=True, bandwidth=8 * MiB, max_yield_polls=4)
+    ecfs = _bg_cluster(bg=cfg)
+    env = ecfs.env
+    osd = ecfs.osds[1]
+    _bid = sorted(b for b in ecfs.known_blocks if ecfs.osd_hosting(b) is osd)[0]
+
+    def fg_flood():
+        for _ in range(5000):
+            yield from osd.io_block(IOKind.READ, _bid, 0, 4096)
+
+    floods = [env.process(fg_flood()) for _ in range(4)]
+    items = [
+        RecycleOp(osd=osd.name, nbytes=32 * KiB),
+        ScrubOp(osd=osd.name, nbytes=32 * KiB),
+        RepairOp(osd=osd.name, nbytes=32 * KiB),
+        MoveOp(osd=osd.name, nbytes=32 * KiB),
+    ]
+
+    def bg(item):
+        yield from ecfs.background.request(item)
+
+    procs = [env.process(bg(item)) for item in items]
+    env.run(env.all_of(procs))
+    stats = ecfs.background.stream_stats()
+    for stream in ("recycle", "scrub", "repair", "rebalance"):
+        assert stats[stream]["granted_items"] == 1, stream
+        assert stats[stream]["backlog_bytes"] == 0, stream
+    for proc in floods:
+        if proc.is_alive:
+            proc.interrupt()
+
+
+# -------------------------------------------------------------------- lanes
+def test_lane_floor_semantics():
+    lane = Lane()
+    assert lane.floor(IOPriority.FOREGROUND) == IOPriority.FOREGROUND
+    lane.priority = IOPriority.DEMOTED
+    assert lane.floor(IOPriority.FOREGROUND) == IOPriority.DEMOTED
+    # a lane never *promotes*: background stays background
+    assert lane.floor(IOPriority.BACKGROUND) == IOPriority.BACKGROUND
+
+
+def test_lane_inherits_through_process_tree_and_demotes_io():
+    """Children spawned under a laned process share the cell; flipping it
+    mid-flight demotes I/O issued afterwards anywhere in the tree."""
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=False))
+    env = ecfs.env
+    osd = ecfs.osds[0]
+    bid = sorted(b for b in ecfs.known_blocks if ecfs.osd_hosting(b) is osd)[0]
+    seen: list[int] = []
+
+    real_submit = osd.device.submit
+
+    def spy_submit(req):
+        seen.append(req.priority)
+        return real_submit(req)
+
+    osd.device.submit = spy_submit
+    lane = Lane()
+
+    def child():
+        yield from osd.io_block(IOKind.READ, bid, 0, 4096)
+
+    def parent():
+        yield env.process(child())  # inherits the lane cell
+        lane.priority = IOPriority.DEMOTED
+        yield env.process(child())
+
+    proc = env.process(parent())
+    proc.lane = lane
+    env.run(proc)
+    assert seen == [IOPriority.FOREGROUND, IOPriority.DEMOTED]
+
+
+def test_deadline_demotes_straggler_update_leg():
+    """A deadline-expired update keeps running (mutations cannot be
+    cancelled) but its remaining device I/O runs in the DEMOTED lane."""
+    from repro.frontend import FrontEnd
+
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=False))
+    fe = FrontEnd(ecfs, hedge_delay=None)
+    fe.register_tenant("t", "gold", deadline=0.01)
+    bid = next(b for b in sorted(ecfs.known_blocks) if b.idx == 0)
+    home = ecfs.osd_hosting(bid)
+    ecfs.net.partition((home.name,))
+
+    def heal():
+        yield ecfs.env.timeout(0.2)
+        ecfs.net.heal()
+
+    ecfs.env.process(heal())
+    offset = bid.stripe * ecfs.rs.k * ecfs.config.block_size
+    ev = fe.submit("update", "t", bid.file_id, offset, 4096)
+    ecfs.env.run(ev)
+    assert ev.value.status == "deadline"
+    assert fe.counters["demoted"] == 1
+    assert fe.counters["cancelled_legs"] == 0  # updates are never cancelled
+    fe.close()
+    ecfs.env.run(ecfs.env.process(fe.quiesce()))
+    ecfs.drain()
+    assert ecfs.verify() > 0
+
+
+def test_deadline_cancels_abandoned_read_legs():
+    """A read leg parked on a network cut is cancelled at deadline expiry:
+    its queued simulated I/O is withdrawn instead of running to completion,
+    so quiesce() no longer has to outwait the heal (the PR-4 known limit)."""
+    from repro.frontend import FrontEnd
+
+    ecfs = _bg_cluster(bg=BackgroundConfig(enabled=False))
+    fe = FrontEnd(ecfs, hedge_delay=None)
+    fe.register_tenant("t", "gold", deadline=0.01)
+    bid = next(b for b in sorted(ecfs.known_blocks) if b.idx == 0)
+    home = ecfs.osd_hosting(bid)
+    ecfs.net.partition((home.name,))  # the read leg parks on the cut
+
+    offset = bid.stripe * ecfs.rs.k * ecfs.config.block_size
+    ev = fe.submit("read", "t", bid.file_id, offset, 4096)
+    ecfs.env.run(ev)
+    assert ev.value.status == "deadline"
+    assert fe.counters["cancelled_legs"] == 1
+    fe.close()
+    # the leg is dead, so quiesce returns without waiting for any heal
+    t0 = ecfs.env.now
+    ecfs.env.run(ecfs.env.process(fe.quiesce()))
+    assert ecfs.env.now == pytest.approx(t0)
+    ecfs.net.heal()
+    ecfs.drain()
+    assert ecfs.verify() > 0
+
+
+# ---------------------------------------------------------------- watermarks
+def test_pl_recycle_watermarks_trigger_background_drain():
+    """PL recycling now triggers off ClusterConfig watermarks: passing the
+    high watermark drains the node's parity log below the low one."""
+    cfg = ClusterConfig(
+        n_osds=8,
+        k=4,
+        m=2,
+        block_size=64 * KiB,
+        recycle_high_watermark=64 * KiB,
+        recycle_low_watermark=16 * KiB,
+        seed=3,
+    )
+    ecfs = ECFS(cfg, method="pl")
+    ecfs.populate(1, 2, fill="random")
+    client = ecfs.add_clients(1)[0]
+    env = ecfs.env
+
+    def workload():
+        for i in range(40):
+            yield env.process(client.update(1, (i % 16) * 4096, 4096))
+
+    env.run(env.process(workload()))
+    env.run(until=env.now + 1.0)
+    high = cfg.recycle_high_watermark
+    for osd in ecfs.osds:
+        assert ecfs.method.log_debt_bytes(osd) < high
+    ecfs.drain()
+    assert ecfs.verify() > 0
+
+
+def test_recycle_threshold_shim_warns():
+    from repro.update.pl import ParityLogging
+
+    with pytest.warns(DeprecationWarning):
+        value = ParityLogging.RECYCLE_THRESHOLD
+    assert value == ClusterConfig.recycle_high_watermark
+    # instance writes to the dead knob fail loudly instead of silently
+    # doing nothing (the live knob is the ClusterConfig watermark)
+    ecfs = ECFS(
+        ClusterConfig(n_osds=8, k=4, m=2, block_size=64 * KiB), method="pl"
+    )
+    with pytest.raises(AttributeError):
+        ecfs.method.RECYCLE_THRESHOLD = 1 << 20
+
+
+def test_watermark_config_validation():
+    with pytest.raises(Exception):
+        ClusterConfig(recycle_low_watermark=2048, recycle_high_watermark=1024).validate()
+
+
+# ------------------------------------------------------------- governor pair
+@pytest.fixture(scope="module")
+def governor_pair():
+    return {
+        gov: ScenarioRunner(get_scenario(f"bg-rebalance-governor-{gov}")).run(seed=7)
+        for gov in ("on", "off")
+    }
+
+
+def test_governor_strictly_improves_foreground_p99(governor_pair):
+    """THE acceptance criterion: same storm, same seed — the governor's
+    throttling strictly improves the overall foreground p99 while every
+    background stream still drains completely in both runs."""
+    on, off = governor_pair["on"], governor_pair["off"]
+    assert on.slo_overall["p99"] < off.slo_overall["p99"]
+    assert on.governor["breaches"] > 0
+    assert on.governor["min_scale"] < 1.0
+    for result in (on, off):
+        for stream in ("recycle", "scrub", "rebalance"):
+            stats = result.background[stream]
+            assert stats["granted_items"] > 0, stream
+            assert stats["backlog_bytes"] == 0, stream
+
+
+def test_governor_scenarios_report_stream_stats(governor_pair):
+    for result in governor_pair.values():
+        assert set(result.background) == {"recycle", "scrub", "repair", "rebalance"}
+        for stats in result.background.values():
+            assert stats["backlog_bytes"] == 0
+        assert result.epoch == 1
+
+
+# ------------------------------------------------------------- determinism
+@pytest.mark.parametrize(
+    "name", ["bg-recycle-vs-recovery", "bg-rebalance-governor-on"]
+)
+def test_bg_scenario_digest_determinism(name):
+    a = ScenarioRunner(get_scenario(name)).run(seed=11)
+    b = ScenarioRunner(get_scenario(name)).run(seed=11)
+    assert a.digest == b.digest
+    assert a.background == b.background and a.governor == b.governor
+    c = ScenarioRunner(get_scenario(name)).run(seed=12)
+    assert c.digest != a.digest
+
+
+def test_bg_scenario_digest_stable_across_pool(tmp_path):
+    """Serial in-process run == SweepExecutor process-pool run."""
+    from repro.harness.sweep import SweepExecutor
+
+    serial = ScenarioRunner(get_scenario("bg-scrub-under-load")).run(seed=7)
+    pooled = SweepExecutor(workers=2).run_scenarios(
+        ["bg-scrub-under-load", "bg-recycle-vs-recovery"], [7]
+    )
+    assert pooled[0].digest == serial.digest
+    assert pooled[0].background == serial.background
+
+
+_HASHSEED_SNIPPET = """
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import get_scenario
+r = ScenarioRunner(get_scenario("bg-recycle-vs-recovery")).run(seed=7)
+print(r.digest)
+print(sorted(r.background.items()))
+"""
+
+
+def test_bg_digest_stable_across_hashseeds():
+    """Arbiter/governor outcomes must not depend on PYTHONHASHSEED."""
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+    def run(hashseed: str) -> str:
+        env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED=hashseed)
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout
+
+    assert run("1") == run("424242")
+
+
+# --------------------------------------------------------------------- misc
+def test_bg_catalog_registered():
+    bg = {n for n in SCENARIOS if n.startswith("bg-")}
+    assert bg == {
+        "bg-scrub-under-load",
+        "bg-recycle-vs-recovery",
+        "bg-rebalance-governor-on",
+        "bg-rebalance-governor-off",
+    }
+
+
+def test_cli_background_single(capsys):
+    from repro.harness.cli import main
+
+    assert main(["background", "bg-scrub-under-load", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "bg scrub" in out
+    assert "background grid" in out
+
+
+def test_scheduler_stats_shape():
+    env = Environment()
+
+    class _FakeECFS:
+        pass
+
+    fake = _FakeECFS()
+    fake.env = env
+    fake.config = ClusterConfig()
+    sched = BackgroundScheduler(fake, BackgroundConfig())
+    stats = sched.stream_stats()
+    assert set(stats) == {"recycle", "scrub", "repair", "rebalance"}
+    for s in stats.values():
+        assert s["granted_items"] == 0 and s["backlog_bytes"] == 0
+    assert sched.fully_drained and not sched.active

@@ -32,7 +32,11 @@ def slo_results():
 
 def test_grid_covers_qos_by_fault(slo_results):
     assert set(slo_results) == {
-        "slo-steady", "slo-qos-crash", "slo-qos-partition", "slo-qos-rebalance"
+        "slo-steady",
+        "slo-qos-crash",
+        "slo-qos-partition",
+        "slo-qos-rebalance",
+        "slo-adaptive-brownout",
     }
     for result in slo_results.values():
         # every cell reports all three QoS classes with the full SLO schema
