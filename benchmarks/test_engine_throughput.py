@@ -130,23 +130,40 @@ def test_engine_throughput(once):
     )
 
 
+def _timed_sweep(executor, cells):
+    """Run one sweep with the cyclic GC parked (collect first, re-enable
+    after).  The simulations allocate enough that ambient gen-2 passes —
+    whose cost scales with everything *earlier* tests left alive — can
+    multiply a ~1s sweep's wall clock several-fold, drowning the executor
+    costs this bench compares (pytest-benchmark disables GC for the same
+    reason)."""
+    import gc
+
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        results = executor.run(cells)
+        return time.perf_counter() - t0, results
+    finally:
+        gc.enable()
+
+
 def test_sweep_executor_speedup(tmp_path):
     """4-cell sweep: warm cache >= 3x serial always; 4 workers >= 3x serial
     on hosts that have the cores for it (recorded regardless)."""
     cells = _sweep_cells()
     cache_dir = tmp_path / "cache"
 
-    t0 = time.perf_counter()
-    serial = SweepExecutor(workers=1, cache_dir=str(cache_dir)).run(cells)
-    wall_serial = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    cached = SweepExecutor(workers=1, cache_dir=str(cache_dir)).run(cells)
-    wall_cached = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    parallel = SweepExecutor(workers=4, cache_dir=str(tmp_path / "c2")).run(cells)
-    wall_parallel = time.perf_counter() - t0
+    wall_serial, serial = _timed_sweep(
+        SweepExecutor(workers=1, cache_dir=str(cache_dir)), cells
+    )
+    wall_cached, cached = _timed_sweep(
+        SweepExecutor(workers=1, cache_dir=str(cache_dir)), cells
+    )
+    wall_parallel, parallel = _timed_sweep(
+        SweepExecutor(workers=4, cache_dir=str(tmp_path / "c2")), cells
+    )
 
     # parallel and cached sweeps reproduce the serial results exactly
     for s, c, p in zip(serial, cached, parallel):
@@ -179,8 +196,17 @@ def test_sweep_executor_speedup(tmp_path):
             f"4-worker sweep only {parallel_speedup:.1f}x faster than serial "
             f"on a {cpus}-cpu host"
         )
-    # below 4 CPUs a process pool cannot hit the bar by construction; the
-    # measurement is recorded in BENCH_engine.json either way
+    elif cpus == 1:
+        # the executor must detect the single core and fall back to serial
+        # execution: the warm in-process prefix memos then make the second
+        # sweep at least as fast as the cold serial one — forking a pool
+        # here used to *lose* (0.5-0.6x) to per-child start-up costs
+        assert parallel_speedup >= 1.0, (
+            f"1-cpu host: 4-worker sweep ran {parallel_speedup:.2f}x serial "
+            f"— the executor should have gone serial and reused warm prefixes"
+        )
+    # between 2 and 3 CPUs a process pool cannot hit the 3x bar by
+    # construction; the measurement is recorded in BENCH_engine.json anyway
 
 
 def test_frontend_slo_bench():

@@ -120,6 +120,10 @@ class BackgroundScheduler:
         #: (sim time, windowed foreground p99, scale) per governor sample
         self.governor_series: list[tuple[float, float, float]] = []
         self.streams: dict[str, StreamStats] = {s: StreamStats() for s in STREAMS}
+        #: grants released out-of-band by :meth:`expedite` (recovery-critical
+        #: settlement jumping a governed backlog)
+        self.expedited_items = 0
+        self.expedited_bytes = 0
         self._lanes: dict[str, _OsdLane] = {}
         self._osd_by_name: dict[str, object] = {}
         self._seq = 0
@@ -159,6 +163,51 @@ class BackgroundScheduler:
             lane.wake.succeed()
         self._ensure_governor()
         yield grant
+
+    def expedite(self, stream: str) -> int:
+        """Release every *queued* grant of ``stream`` immediately, bypassing
+        token pacing and the foreground-yield window.
+
+        This is the scheduler-side half of the recovery-priority-inversion
+        fix: recovery-critical settlement (TSUE's ``recovery_prepare`` /
+        ``finalize_recovery`` drains) must not queue behind a governed
+        recycle backlog — mirroring how PL's FOREGROUND drains skip the
+        arbiter entirely.  The AIMD floor (``validate_aimd`` enforces
+        ``0 < floor``) guarantees paced grants always make *some* progress,
+        but "some" is not "ahead of the repair clock"; expedited grants are.
+
+        Released grants are accounted as granted (so ``backlog_bytes``
+        drains and ``fully_drained`` stays truthful) and additionally in
+        ``expedited_items`` / ``expedited_bytes``.  The one item a pump may
+        already hold in paced service is not recalled — worst case one
+        in-flight grant per OSD lane.  Returns the number released.
+        """
+        if not self.enabled:
+            return 0
+        env = self.ecfs.env
+        released = 0
+        for lane in self._lanes.values():
+            keep = []
+            for entry in lane.heap:
+                _vft, _seq, grant, item = entry
+                if item.stream != stream or grant.triggered:
+                    keep.append(entry)
+                    continue
+                stats = self.streams[item.stream]
+                stats.granted_items += 1
+                stats.granted_bytes += item.nbytes
+                stats.last_grant = env.now
+                self._last_grant_at = env.now
+                self.expedited_items += 1
+                self.expedited_bytes += item.nbytes
+                grant.succeed()
+                released += 1
+            if len(keep) != len(lane.heap):
+                # the popped entries' grants already fired; the heap must
+                # forget them or the pump would pace and re-grant ghosts
+                lane.heap[:] = keep
+                heapq.heapify(lane.heap)
+        return released
 
     def stream_stats(self) -> dict[str, dict[str, float]]:
         """Per-stream bandwidth/backlog/time-to-drain, deterministic order."""

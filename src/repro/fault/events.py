@@ -34,6 +34,7 @@ __all__ = [
     "after_ops",
     "after_recycles",
     "after_drain",
+    "mid_rebalance",
     "total_recycled_units",
 ]
 
@@ -246,6 +247,20 @@ def after_recycles(n: int) -> Callable[["ECFS"], bool]:
 
     def pred(ecfs: "ECFS") -> bool:
         return total_recycled_units(ecfs) >= n
+
+    return pred
+
+
+def mid_rebalance(min_moved: int = 1) -> Callable[["ECFS"], bool]:
+    """True while a rebalance is actively migrating: the placement epoch
+    advanced, at least ``min_moved`` blocks already landed at new homes,
+    and moves remain outstanding — the window a crash-during-rebalance
+    scenario must hit (an epoch check alone fires before any byte moved)."""
+
+    def pred(ecfs: "ECFS") -> bool:
+        if ecfs.placement.epoch < 1 or ecfs.placement.balanced():
+            return False
+        return ecfs.metrics.rebalance_stats()["moved_blocks"] >= min_moved
 
     return pred
 

@@ -29,6 +29,7 @@ from repro.fault.events import (
     after_drain,
     after_ops,
     after_recycles,
+    mid_rebalance,
 )
 from repro.fault.runner import ScenarioSpec
 
@@ -367,6 +368,43 @@ def _spec_topo_join_rotation() -> ScenarioSpec:
     )
 
 
+def _spec_topo_crash_mid_rebalance() -> ScenarioSpec:
+    """An OSD crashes while the join-rebalance is mid-flight: moves that
+    touch the victim skip to recovery, committed moves stand, shipped or
+    settled log content survives the re-home — and the runner's stripe
+    oracle proves the rebuild byte-identical.  The `mid_rebalance`
+    predicate (>=2 blocks moved, moves outstanding) pins the crash inside
+    the migration window; the low ``bw_cap`` stretches that window so the
+    predicate's poll cannot miss it."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        return (
+            FaultSchedule()
+            .when(
+                after_ops(spec.n_ops // 3),
+                OSDJoin(weight=1.0, bw_cap=64 * MiB, parallel=2),
+            )
+            .when(
+                mid_rebalance(min_moved=2),
+                CrashOSD(osd=3, recover=True),
+                poll=0.0002,
+            )
+        )
+
+    return ScenarioSpec(
+        name="topo-crash-mid-rebalance",
+        description="OSD crash mid-migration: epoch remaps + rebuild stay byte-exact",
+        method="tsue",
+        placement="crush",
+        build_faults=faults,
+        checks=[
+            _expect_recoveries(1),
+            _expect_epoch(1),
+        ],
+        **_TOPO_GEOMETRY,
+    )
+
+
 def _spec_topo_decommission_crush() -> ScenarioSpec:
     """Graceful removal under CRUSH: the victim's blocks drain to survivors
     at a bandwidth cap, the node retires empty, and no rebuild ever runs —
@@ -647,6 +685,36 @@ def _expect_governor_engaged(ecfs, injector):
         raise AssertionError("governor breached but the token scale never moved")
 
 
+def _expect_recovery_unstarved(ecfs, injector):
+    """The recovery-priority-inversion contract: recovery-critical flushes
+    jumped the governed recycle backlog instead of queueing behind it.
+    Asserts (a) expedited grants actually fired — the crash found recycle
+    work parked on paced grants and released it out-of-band — and (b) the
+    recovery's preparation phase beat the time the floored token rate would
+    have needed just to drain those grants."""
+    sched = ecfs.background
+    if sched.expedited_items <= 0:
+        raise AssertionError(
+            "recovery flush never expedited the recycle backlog"
+        )
+    if not injector.recovery_reports:
+        raise AssertionError("no recovery ran")
+    # counterfactual: the recycle bytes recovery jumped (expedited grants +
+    # boost-time arbiter bypass), paced at the governor's floor — what the
+    # old inversion would have charged the prepare phase
+    jumped = sched.expedited_bytes + getattr(
+        ecfs.method, "recovery_bypass_bytes", 0
+    )
+    floored_seconds = jumped / (sched.config.bandwidth * sched.config.floor)
+    for report in injector.recovery_reports:
+        if report.prepare_seconds >= floored_seconds:
+            raise AssertionError(
+                f"recovery prepare took {report.prepare_seconds:.4f}s, no "
+                f"faster than the floored recycle drain "
+                f"({floored_seconds:.4f}s) — the priority inversion is back"
+            )
+
+
 def _spec_bg_scrub_under_load() -> ScenarioSpec:
     """Continuous-scrub story (the ROADMAP's 'scrub scheduling as a
     background process'): a full verify pass runs in freeze mode *while*
@@ -714,6 +782,74 @@ def _spec_bg_recycle_vs_recovery() -> ScenarioSpec:
         build_faults=faults,
         checks=[
             _expect_recoveries(1),
+            _expect_bg_drained("recycle", "repair"),
+        ],
+    )
+
+
+def _recycle_parked(ecfs) -> bool:
+    """A recycle grant is queued (not in service) in some OSD lane — the
+    exact state the recovery-priority inversion needs to manifest."""
+    return any(
+        item.stream == "recycle" and not grant.triggered
+        for lane in ecfs.background._lanes.values()
+        for _vft, _seq, grant, item in lane.heap
+    )
+
+
+def _spec_bg_storm_crash_recovery() -> ScenarioSpec:
+    """Maintenance-storm crash: tiny log units seal constantly, a 3-pass
+    freeze scrub keeps OSD lanes busy with multi-MiB grants, and the tight
+    p99 target drives the governor to its floor — so recycle grants park
+    behind in-service maintenance.  The crash lands, by predicate, at an
+    instant with recycle grants provably queued; recovery's prepare/
+    finalize flushes must then complete AHEAD of that backlog (recyclers
+    skip the arbiter while boosted, parked grants are expedited), not at
+    the floor's trickle."""
+
+    def faults(spec: ScenarioSpec) -> FaultSchedule:
+        min_ops = after_ops(spec.n_ops // 8)
+        return (
+            FaultSchedule()
+            .when(
+                after_ops(spec.n_ops // 10),
+                ScrubPass(repair=False, freeze=True, passes=3),
+            )
+            .when(
+                lambda ecfs: min_ops(ecfs) and _recycle_parked(ecfs),
+                CrashOSD(osd=1, recover=True),
+                poll=0.0005,
+            )
+        )
+
+    return ScenarioSpec(
+        name="bg-storm-crash-recovery",
+        description="crash amid a floored maintenance storm: recovery outruns the recycle backlog",
+        method="tsue",
+        n_osds=12,
+        k=4,
+        m=2,
+        block_size=1 * MiB,
+        log_unit_size=64 * KiB,
+        n_files=3,
+        stripes_per_file=8,
+        n_ops=360,
+        frontend=True,
+        placement="crush",
+        tenants=_bg_gov_tenants(),
+        background=BackgroundConfig(
+            enabled=True,
+            bandwidth=256 * MiB,
+            governor=True,
+            p99_target=0.0005,
+            window=0.03,
+            interval=0.01,
+            floor=0.02,
+        ),
+        build_faults=faults,
+        checks=[
+            _expect_recoveries(1),
+            _expect_recovery_unstarved,
             _expect_bg_drained("recycle", "repair"),
         ],
     )
@@ -878,6 +1014,7 @@ _FACTORIES = [
     _spec_slow_disk,
     _spec_topo_join_crush,
     _spec_topo_join_rotation,
+    _spec_topo_crash_mid_rebalance,
     _spec_topo_decommission_crush,
     _spec_topo_weight_crush,
     _spec_slo_steady,
@@ -887,6 +1024,7 @@ _FACTORIES = [
     _spec_slo_adaptive_brownout,
     _spec_bg_scrub_under_load,
     _spec_bg_recycle_vs_recovery,
+    _spec_bg_storm_crash_recovery,
     _spec_bg_rebalance_governor_on,
     _spec_bg_rebalance_governor_off,
 ]

@@ -18,12 +18,18 @@ cache is opt-in — no ``cache_dir`` (and no ``REPRO_CACHE_DIR``) means
 every cell runs.  CI persists the cache between runs via ``actions/cache``
 keyed on :data:`CACHE_SCHEMA`, so only never-seen cells pay.
 
-Fault isolation: with ``workers > 1`` every cell runs in its own child
-process with an optional per-cell ``cell_timeout``.  A cell that hangs is
+Fault isolation: with ``workers > 1`` cells run in child processes —
+several short cells batched per child to amortize interpreter start-up —
+with an optional per-cell ``cell_timeout``.  A cell that hangs is
 terminated, a cell that dies is collected, and either is retried once
-(``retries``); a cell that still fails becomes a :class:`CellFailure` in
-the result list (``strict=False``) or raises after the whole sweep drained
-(``strict``, the default) — the pool itself never wedges.
+(``retries``, individually — the rest of its batch is requeued unharmed);
+a cell that still fails becomes a :class:`CellFailure` in the result list
+(``strict=False``) or raises after the whole sweep drained (``strict``,
+the default) — the pool itself never wedges.  On a single-CPU host the
+pool cannot beat serial (it only adds fork + pickle overhead and loses
+the in-process prefix memos), so the executor falls back to serial there
+unless a ``cell_timeout`` needs enforcing — only a child process can be
+killed at a deadline.
 
 Prefix sharing: cells that agree on geometry + seed also share their
 populate/trace *prefixes* through the in-process content-addressed memos
@@ -78,7 +84,11 @@ __all__ = [
 #: 4: unified background scheduler (ScenarioResult gained slo_overall/
 #:    background/governor fields; deadline-abandoned read legs are now
 #:    cancelled, shifting slo-* digest VALUES; scrub grants per stripe)
-CACHE_SCHEMA = 4
+#: 5: crash-safe rebalance (block moves settle or ship pending log
+#:    content instead of blocking on whole-cluster drains — topo-* digest
+#:    VALUES shift; recovery flushes bypass governed recycle pacing,
+#:    reordering background grants)
+CACHE_SCHEMA = 5
 
 
 def config_key(cfg: ExperimentConfig) -> str:
@@ -123,15 +133,18 @@ def _scenario_cell(args: tuple[str, int]) -> "ScenarioResult":
     return ScenarioRunner(get_scenario(name)).run(seed=seed)
 
 
-def _cell_entry(worker, cell, conn) -> None:  # pragma: no cover - child proc
-    """Child-process entry: run one cell, ship the outcome over the pipe."""
+def _batch_entry(worker, batch, conn) -> None:  # pragma: no cover - child proc
+    """Child-process entry: run a batch of cells in order, streaming one
+    outcome per cell over the pipe (so a mid-batch death loses nothing
+    already finished)."""
     try:
-        conn.send(("ok", worker(cell)))
-    except BaseException as exc:  # noqa: BLE001 - report, parent decides
-        try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
+        for cell in batch:
+            try:
+                conn.send(("ok", worker(cell)))
+            except BaseException as exc:  # noqa: BLE001 - parent decides
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except Exception:
+        pass  # pipe gone: the parent already gave up on this child
     finally:
         conn.close()
 
@@ -227,7 +240,14 @@ class SweepExecutor:
                 misses.append(i)
 
         if misses:
-            if self.workers > 1 and len(misses) > 1:
+            # a process pool needs >1 cell to win and >1 CPU to run on; a
+            # single-core host goes serial (keeping the in-process prefix
+            # memos warm) — unless a cell_timeout must be enforced, which
+            # only a killable child process can honor
+            pool = self.workers > 1 and len(misses) > 1 and (
+                (os.cpu_count() or 1) > 1 or self.cell_timeout is not None
+            )
+            if pool:
                 self._run_pool(keys, cells, worker, misses, results)
             else:
                 self._run_serial(keys, cells, worker, misses, results)
@@ -246,9 +266,10 @@ class SweepExecutor:
         return results
 
     def _run_serial(self, keys, cells, worker, misses, results) -> None:
-        """In-process execution (workers == 1 or a single miss): byte-
-        identical to a plain loop; dead cells retry, hangs are not
-        interruptible in-process (use workers > 1 for timeout enforcement)."""
+        """In-process execution (workers == 1, a single miss, or a 1-CPU
+        host with no timeout to enforce): byte-identical to a plain loop;
+        dead cells retry, hangs are not interruptible in-process (set a
+        cell_timeout with workers > 1 for timeout enforcement)."""
         for i in misses:
             for attempt in range(self.retries + 1):
                 try:
@@ -265,33 +286,52 @@ class SweepExecutor:
                     )
 
     def _run_pool(self, keys, cells, worker, misses, results) -> None:
-        """One child process per cell, at most ``workers`` alive at once.
+        """Batched children, at most ``workers`` alive at once.
 
-        A cell that exceeds ``cell_timeout`` is terminated, one that dies is
-        collected from its pipe EOF; both re-queue until their retry budget
-        is spent, then land as :class:`CellFailure` — a bad cell can never
-        wedge the rest of the sweep.
+        Short cells are batched several per child (about two batches per
+        worker, for load balance) so interpreter start-up amortizes;
+        children stream one outcome per cell.  ``cell_timeout`` applies
+        per cell — the deadline resets as each outcome arrives.  A cell
+        that times out or kills its child is charged the attempt and
+        requeued (until its retry budget is spent, then it lands as a
+        :class:`CellFailure`); the *rest* of its batch never ran, so those
+        cells requeue individually at no attempt cost — a bad cell can
+        never wedge or fail the rest of the sweep.
         """
-        pending = deque((i, 0) for i in misses)
-        running: dict = {}  # conn -> (cell idx, attempt, process, deadline)
+        batch_size = max(1, -(-len(misses) // (self.workers * 2)))
+        pending = deque(
+            [(i, 0) for i in misses[b : b + batch_size]]
+            for b in range(0, len(misses), batch_size)
+        )
+        # conn -> [batch, cursor, process, deadline]  (mutable: cursor and
+        # deadline advance as the child streams outcomes)
+        running: dict = {}
 
         def finish(i: int, attempt: int, error: Optional[str]) -> None:
             if error is None:
                 return
             if attempt < self.retries:
                 self.stats.retried += 1
-                pending.append((i, attempt + 1))
+                pending.append([(i, attempt + 1)])
             else:
                 results[i] = CellFailure(
                     key=keys[i], error=error, attempts=attempt + 1
                 )
 
+        def requeue_rest(batch, cursor) -> None:
+            """Cells behind a dead/hung one never ran: retry them solo,
+            without charging an attempt."""
+            for i, attempt in batch[cursor:]:
+                pending.append([(i, attempt)])
+
         while pending or running:
             while pending and len(running) < self.workers:
-                i, attempt = pending.popleft()
+                batch = pending.popleft()
                 recv, send = multiprocessing.Pipe(duplex=False)
                 proc = multiprocessing.Process(
-                    target=_cell_entry, args=(worker, cells[i], send), daemon=True
+                    target=_batch_entry,
+                    args=(worker, [cells[i] for i, _a in batch], send),
+                    daemon=True,
                 )
                 proc.start()
                 send.close()
@@ -300,7 +340,7 @@ class SweepExecutor:
                     if self.cell_timeout is None
                     else time.monotonic() + self.cell_timeout
                 )
-                running[recv] = (i, attempt, proc, deadline)
+                running[recv] = [batch, 0, proc, deadline]
 
             deadlines = [d for *_ignored, d in running.values() if d is not None]
             wait_for = (
@@ -308,28 +348,46 @@ class SweepExecutor:
             )
             ready = _conn_wait(list(running), timeout=wait_for)
             for conn in ready:
-                i, attempt, proc, _deadline = running.pop(conn)
+                entry = running[conn]
+                batch, cursor, proc, _deadline = entry
                 try:
                     status, payload = conn.recv()
                 except EOFError:
-                    status, payload = "err", f"worker died (exit {proc.exitcode})"
-                conn.close()
-                proc.join()
+                    # the child died on the cell at the cursor; the rest of
+                    # the batch never started
+                    del running[conn]
+                    conn.close()
+                    proc.join()
+                    i, attempt = batch[cursor]
+                    finish(i, attempt, f"worker died (exit {proc.exitcode})")
+                    requeue_rest(batch, cursor + 1)
+                    continue
+                i, attempt = batch[cursor]
+                entry[1] = cursor + 1
                 if status == "ok":
                     results[i] = payload
                 else:
                     finish(i, attempt, payload)
+                if entry[1] == len(batch):
+                    del running[conn]
+                    conn.close()
+                    proc.join()
+                elif self.cell_timeout is not None:
+                    # per-cell budget: the clock restarts for the next cell
+                    entry[3] = time.monotonic() + self.cell_timeout
             now = time.monotonic()
-            for conn, (i, attempt, proc, deadline) in list(running.items()):
+            for conn, (batch, cursor, proc, deadline) in list(running.items()):
                 if deadline is not None and now >= deadline:
                     del running[conn]
                     proc.terminate()
                     proc.join()
                     conn.close()
                     self.stats.timeouts += 1
+                    i, attempt = batch[cursor]
                     finish(
                         i, attempt, f"timed out after {self.cell_timeout:g}s"
                     )
+                    requeue_rest(batch, cursor + 1)
 
     # ------------------------------------------------------------- caching
     def _cache_path(self, key: str) -> Optional[str]:

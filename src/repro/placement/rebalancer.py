@@ -20,10 +20,18 @@ the node is retired — an in-flight read that resolved the old home sees
 the (at worst slightly stale) old bytes rather than a hole, matching how
 production migrations double-serve during a transfer window.
 
-Known limitation: replica-log content written under an earlier epoch stays
-on the old replica node; a crash *during* a rebalance therefore replays
-from wherever the replica lived when the update was logged.  The catalog's
-topology scenarios keep crashes and rebalances in separate runs.
+Log content migrates with the block — the **settle-or-ship** protocol.
+Before the capture the move asks the update method how many live log bytes
+on the source address the block (:meth:`UpdateMethod.block_log_bytes`).  A
+small debt settles in place first (recycle-before-move: the method's own
+arbitered recycle machinery drains it — :meth:`UpdateMethod.settle_block`);
+a large debt ships instead: the live DataLog/ParityLog extents are
+captured under the freeze (:meth:`UpdateMethod.collect_block_logs`) and
+replayed at the destination (:meth:`UpdateMethod.apply_shipped_logs`) with
+the method's replay-dedup tokens guaranteeing exactly-once against the
+source's own recycle or a crash replay.  Both pacing paths — the arbiter's
+``rebalance`` stream and the legacy bandwidth cap — run the identical
+protocol, so a crash *during* a rebalance is byte-safe either way.
 """
 
 from __future__ import annotations
@@ -56,6 +64,8 @@ class RebalanceReport:
     seconds: float
     imbalance_before: float
     imbalance_after: float
+    #: live log bytes that travelled with their blocks (the ship path)
+    shipped_log_bytes: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -79,15 +89,26 @@ class Rebalancer:
         ecfs: "ECFS",
         bandwidth_cap: Optional[float] = None,
         parallel: int = 2,
+        ship_threshold: Optional[int] = None,
     ) -> None:
         if bandwidth_cap is not None and bandwidth_cap <= 0:
             raise ValueError("bandwidth_cap must be positive (or None)")
         self.ecfs = ecfs
         self.bandwidth_cap = bandwidth_cap
         self.parallel = max(1, parallel)
+        # settle-or-ship pivot: a block with at most this much pending log
+        # content settles in place before its move (recycle-before-move);
+        # more ships with the block instead of stalling the migration on a
+        # long drain.  Default: one log unit's worth.
+        self.ship_threshold = (
+            ship_threshold
+            if ship_threshold is not None
+            else ecfs.config.log_unit_size
+        )
         self.moved_blocks = 0
         self.moved_bytes = 0
         self.skipped = 0
+        self.shipped_log_bytes = 0
         # shared token timeline: the instant the capped bandwidth frees up
         self._bw_free_at = 0.0
 
@@ -115,6 +136,7 @@ class Rebalancer:
             seconds=env.now - t0,
             imbalance_before=before,
             imbalance_after=ecfs.tail_imbalance(),
+            shipped_log_bytes=self.shipped_log_bytes,
         )
         return report
 
@@ -177,16 +199,24 @@ class Rebalancer:
             src.name, ecfs.osds[dst].name, bs + ecfs.config.header_bytes
         )
 
-        # settle: the shared reconstruction discipline, plus the block-clean
-        # condition only migration needs — no log content on the source
-        # addressed to this block (TSUE DataLog defers the in-place write;
-        # copying the base would lose it)
+        # settle-or-ship: a little pending log content on the source drains
+        # through the method's own (arbitered) recycle machinery before the
+        # capture; a lot ships with the block below — after reserving its
+        # bandwidth on the same pacing path the base bytes used, so the
+        # legacy cap and the arbiter see the extra volume identically
+        method = ecfs.method
+        pending = method.block_log_bytes(src, block)
+        if 0 < pending <= self.ship_threshold:
+            yield from method.settle_block(src, block)
+        elif pending:
+            yield from self._throttle(pending, src.name)
+
+        # settle: the shared reconstruction discipline (no in-flight update,
+        # no unsettled parity delta, not frozen).  Log content addressed to
+        # the block itself no longer blocks here — whatever remains at
+        # freeze time is captured and shipped.
         key = (block.file_id, block.stripe)
-        yield from ecfs.settle_stripe(
-            block.file_id,
-            block.stripe,
-            extra_blocked=lambda: ecfs.method.block_unsettled(src, block),
-        )
+        yield from ecfs.settle_stripe(block.file_id, block.stripe)
         ecfs.freeze_stripe(*key)
         try:
             if ecfs.placement.home_of(block) != src_idx:
@@ -210,6 +240,16 @@ class Rebalancer:
                 dosd.store.write(block, 0, data)
             else:
                 dosd.store.create(block, data, own=True)
+            # ship whatever live log content still addresses the block (the
+            # fast path usually settled it to zero; races and the ship path
+            # land here) — applied at the destination under the freeze, with
+            # the method's dedup tokens preventing double-apply
+            shipped = method.collect_block_logs(src, block)
+            if shipped:
+                nbytes = yield from method.apply_shipped_logs(
+                    src, dosd, block, shipped
+                )
+                self.shipped_log_bytes += int(nbytes or 0)
             ecfs.placement.commit_move(block, dst)
             self.moved_blocks += 1
             self.moved_bytes += bs

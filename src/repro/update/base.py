@@ -104,6 +104,46 @@ class UpdateMethod:
         time, like FL) are covered by :meth:`unsettled_stripes` already."""
         return False
 
+    # ------------------------------------------------- migration (log move)
+    # The rebalancer's settle-or-ship protocol: a block with a *small*
+    # amount of pending log content on its source settles in place before
+    # the move (recycle-before-move — the cheap path, driving the normal
+    # arbitered recycle machinery); a block with more ships its live log
+    # extents to the destination as part of the move, with the method's own
+    # replay-dedup tokens preventing double-apply if the source later
+    # recycles (or crash-replays) the same extents.  Methods that apply
+    # data in place at update time need none of this — the defaults say so.
+
+    def block_log_bytes(self, osd: OSD, block: BlockId) -> int:
+        """Bytes of live log content on ``osd`` addressed to ``block`` that
+        an in-place copy of the block would miss — the shippable complement
+        of :meth:`block_unsettled`.  0 means the base bytes are the whole
+        story and the move needs neither settle nor ship."""
+        return 0
+
+    def settle_block(self, osd: OSD, block: BlockId) -> Generator:
+        """Process fragment: force ``osd``'s pending log content for
+        ``block`` through the normal (arbitered) recycle machinery — the
+        migration fast path.  Must terminate even under a floored governor
+        and when ``osd`` dies mid-settle."""
+        yield self.env.timeout(0)
+
+    def collect_block_logs(self, src: OSD, block: BlockId) -> list:
+        """Capture ``src``'s live log records addressed to ``block`` for
+        shipping.  Called under the stripe freeze (after ``settle_stripe``),
+        so the captured set is stable.  The records are opaque to the
+        caller; only :meth:`apply_shipped_logs` interprets them."""
+        return []
+
+    def apply_shipped_logs(self, src: OSD, dst: OSD, block: BlockId, records: list) -> Generator:
+        """Process fragment: apply records captured by
+        :meth:`collect_block_logs` at ``dst`` (still under the freeze),
+        charging the read at ``src``, the wire, and the writes at ``dst``.
+        Marks the extents applied at the source so its own later recycle
+        skips them.  Returns the number of log bytes shipped."""
+        yield self.env.timeout(0)
+        return 0
+
     def _resync_eligible(self, pbid: BlockId) -> bool:
         """A marked row is repairable iff its own host and every data host
         are reachable."""

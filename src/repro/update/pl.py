@@ -199,8 +199,14 @@ class ParityLogging(UpdateMethod):
                         priority=priority,
                         tag="pl-recycle",
                     )
+                    # the log entry may predate a placement-epoch re-home:
+                    # the log (and its read) stays with ``posd``, but the
+                    # delta must land on the parity block's CURRENT host
+                    target = self.ecfs.osd_hosting(pbid)
+                    if target is not posd:
+                        yield from self.forward(posd, target, int(pdelta.shape[0]))
                     yield from self.parity_rmw(
-                        posd, pbid, offset, pdelta, priority, tag="pl-recycle"
+                        target, pbid, offset, pdelta, priority, tag="pl-recycle"
                     )
                 except IntegrityError:
                     # the node died mid-recycle with the entries already

@@ -91,6 +91,11 @@ class ParityLoggingReserved(UpdateMethod):
         """
         # reconstruction may hold the stripe frozen (capture -> re-home)
         yield from self.ecfs.wait_stripe_thaw(pbid.file_id, pbid.stripe)
+        # the reserved area is adjacent to the parity block, so its content
+        # travels with the block across placement epochs: recycle against
+        # the CURRENT host, not whichever node the caller resolved earlier
+        # (an inline recycle may have waited out a re-home just above)
+        posd = self.ecfs.osd_hosting(pbid)
         entries = self._pending.pop(pbid, [])
         used = self._used.pop(pbid, 0)
         if not entries:

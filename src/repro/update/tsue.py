@@ -144,6 +144,18 @@ class TSUE(UpdateMethod):
         # at each node, so an interrupted recycle can replay blindly.
         # Unbounded here; a real log GCs below the recycle watermark.
         self._seen_tokens: dict[str, set] = defaultdict(set)
+        # where each block's newest DataLog replica actually landed — the
+        # placement policy's replica_osd() answer changes across epochs, but
+        # a degraded read must consult the node that holds the bytes
+        self._replica_of: dict[BlockId, str] = {}
+        # > 0 while a recovery-critical drain is in flight: recyclers skip
+        # the governed arbiter and queued recycle grants are expedited, so
+        # recovery settlement never queues behind a floored backlog
+        self._recovery_boost = 0
+        #: log bytes recycled arbiter-free under the boost — with the
+        #: scheduler's expedited_bytes, the backlog a governed drain would
+        #: have paced at the floor (the inversion's counterfactual cost)
+        self.recovery_bypass_bytes = 0
 
     # ------------------------------------------------------------ lifecycle
     def attach(self, osd: OSD) -> None:
@@ -240,6 +252,8 @@ class TSUE(UpdateMethod):
         # replica is persisted to SSD only — no memory index (§4.1)
         yield from rep.io_log_append("datalog-rep", op.size, tag="tsue-datalog-rep")
         self.replica_log_bytes[rep.name] += op.size
+        if r == 0:
+            self._replica_of[op.block] = rep.name
 
     # ------------------------------------------------------------ read path
     def handle_read(
@@ -269,10 +283,16 @@ class TSUE(UpdateMethod):
             # unified maintenance plane: wait for the arbiter's paced grant
             # before spending device bandwidth (a no-op when disabled —
             # the unit is still RECYCLABLE while parked, so settlement and
-            # backlog accounting see it)
-            yield from self.ecfs.background.request(
-                unit_recycle_op(osd.name, pool.name, unit)
-            )
+            # backlog accounting see it).  A recovery-critical drain skips
+            # the arbiter entirely (PL's FOREGROUND-drain pattern): the
+            # governed recycle stream is exactly the backlog recovery must
+            # not queue behind.
+            if not self._recovery_boost:
+                yield from self.ecfs.background.request(
+                    unit_recycle_op(osd.name, pool.name, unit)
+                )
+            else:
+                self.recovery_bypass_bytes += int(unit.used)
             unit.start_recycle(self.env.now)
             try:
                 yield from fn(osd, pool, pidx, unit)
@@ -577,6 +597,10 @@ class TSUE(UpdateMethod):
 
     def _drain_layer(self, layer: str) -> Generator:
         while True:
+            if self._recovery_boost:
+                # release recyclers parked on pre-boost paced grants: their
+                # units are part of the backlog this drain is waiting out
+                self.ecfs.background.expedite("recycle")
             busy = False
             for osd in self.ecfs.osds:
                 if osd.failed:
@@ -731,7 +755,7 @@ class TSUE(UpdateMethod):
                 yield from self._paritylog_append(posd, pbid, offset, pdelta, token)
         finally:
             self._stripes_busy_end(stripes)
-        yield from self.flush()
+        yield from self._recovery_flush()
 
     def post_rebuild(self, block: BlockId, target: OSD, rebuilt: np.ndarray) -> Generator:
         """Merge the victim's stashed DataLog extents onto a rebuilt block
@@ -742,12 +766,30 @@ class TSUE(UpdateMethod):
             rebuilt[ext.start : ext.end] = ext.data
             yield from self._forward_delta(target, block, ext.start, old ^ ext.data)
 
+    def _recovery_flush(self) -> Generator:
+        """A full pipeline drain at recovery priority.
+
+        The priority-inversion fix: while the boost is held, recyclers skip
+        the governed arbiter and :meth:`_drain_layer` expedites any recycle
+        grants already queued — so the drain proceeds at device speed (the
+        devices' IOPriority lanes still order the actual I/O) instead of at
+        the governor's floored token rate.  The AIMD floor keeps paced
+        progress alive regardless; the boost makes recovery settlement run
+        AHEAD of the backlog rather than merely behind a nonzero trickle.
+        """
+        self._recovery_boost += 1
+        try:
+            yield from self.flush()
+        finally:
+            self._recovery_boost -= 1
+
     def finalize_recovery(self) -> Generator:
-        yield from self.flush()
+        yield from self._recovery_flush()
 
     def recovery_prepare(self, osd: OSD) -> Generator:
-        # real-time recycling keeps debt tiny; drain whatever remains
-        yield from self.flush()
+        # real-time recycling keeps debt tiny; drain whatever remains —
+        # at recovery priority, never behind governed recycle grants
+        yield from self._recovery_flush()
 
     def degraded_overlay(
         self, block: BlockId, offset: int, size: int, buf: np.ndarray
@@ -765,7 +807,15 @@ class TSUE(UpdateMethod):
         home = self.ecfs.osd_hosting(block)
         if not home.failed:
             return buf
-        rep = self.ecfs.osds[self.ecfs.placement.replica_osd(block)]
+        # epoch-aware: read the node that actually holds the newest replica
+        # bytes (recorded at append time) — the policy's replica_osd()
+        # answer may have rotated across placement epochs since
+        rep_name = self._replica_of.get(block)
+        rep = None
+        if rep_name is not None:
+            rep = next((o for o in self.ecfs.osds if o.name == rep_name), None)
+        if rep is None:
+            rep = self.ecfs.osds[self.ecfs.placement.replica_osd(block)]
         if not rep.failed:
             yield from rep.io_at(
                 IOKind.READ,
@@ -832,6 +882,122 @@ class TSUE(UpdateMethod):
                         if self._real_block(key) == block:
                             return True
         return False
+
+    # ------------------------------------------------- migration (log move)
+    def _live_block_extents(self, osd: OSD, block: BlockId) -> list:
+        """``(layer, pool, unit, key, ext)`` for every live DataLog/ParityLog
+        extent on ``osd`` addressed to ``block``, oldest unit first, minus
+        extents the unit's own recycle already applied.
+
+        Planned through :class:`RecyclePlanner` so the keys (and therefore
+        the dedup tokens) are byte-identical to the ones the source's own
+        recycle of the same units would generate — shipping and recycling
+        are two deliveries of ONE logical record.  DeltaLog content never
+        qualifies: it is keyed by data blocks but homed with the stripe's
+        first parity OSD, and its recycle already resolves the parity
+        destination through ``osd_hosting`` at forward time.
+        """
+        out: list = []
+        layers = self.pools.get(osd.name)
+        if not layers:
+            return out
+        live = (
+            LogUnitState.EMPTY,
+            LogUnitState.RECYCLABLE,
+            LogUnitState.RECYCLING,
+        )
+        for layer, prefix in (("datalog", "dl"), ("paritylog", "pl")):
+            for pool in layers[layer]:
+                for unit in pool.units:
+                    if not unit.used or unit.state not in live:
+                        continue
+                    for work in self.planner.plan(unit):
+                        if self._real_block(work.block) != block:
+                            continue
+                        for ext in work.extents:
+                            key = (prefix, work.block, ext.start, ext.size)
+                            if key in unit.recycle_progress:
+                                continue  # already applied at the source
+                            out.append((layer, pool, unit, key, ext))
+        return out
+
+    def block_log_bytes(self, osd: OSD, block: BlockId) -> int:
+        return sum(e[4].size for e in self._live_block_extents(osd, block))
+
+    def settle_block(self, osd: OSD, block: BlockId) -> Generator:
+        """Recycle-before-move: seal the units holding content for ``block``
+        and sleep on settlement progress until the block is clean.  The
+        normal (arbitered) recyclers do the work, so the settle respects
+        the maintenance plane's pacing.  Terminates: the AIMD floor keeps
+        paced recycle progressing, and a node death clears its pools (both
+        paths fire the settlement notification)."""
+        yielded = False
+        while not osd.failed and self.block_unsettled(osd, block):
+            for layer in _LAYERS:
+                for pool in self.pools[osd.name][layer]:
+                    pool.seal_active_if_dirty()
+            yielded = True
+            yield self.ecfs.settlement_event()
+        if not yielded:
+            yield self.env.timeout(0)
+
+    def collect_block_logs(self, src: OSD, block: BlockId) -> list:
+        return self._live_block_extents(src, block)
+
+    def apply_shipped_logs(self, src: OSD, dst: OSD, block: BlockId, records: list) -> Generator:
+        """Ship captured log extents with the block move (under the freeze).
+
+        DataLog extents replay the recycle's own protocol against the
+        destination's freshly-copied base: the recomputed delta equals the
+        one the source's recycle would have produced, and it travels with
+        the SAME dedup token, so whichever of {ship, source recycle, crash
+        replay} arrives second is dropped by the receivers.  ParityLog
+        extents XOR into the moved parity block directly.  Source-side
+        ``recycle_progress`` marks are deferred until EVERY record landed:
+        if a node dies mid-ship the move aborts without the marks, the
+        block stays homed at the source, its own recycle still applies the
+        content there, and the tokens keep the partial parity forwards
+        exactly-once.
+        """
+        total = sum(ext.size for _l, _p, _u, _k, ext in records)
+        if not records:
+            yield self.env.timeout(0)
+            return 0
+        # one sequential read of the shipped extents at the source + wire
+        yield from src.io_at(
+            IOKind.READ, 0, total, stream="log-ship",
+            priority=IOPriority.BACKGROUND, tag="tsue-ship",
+        )
+        yield from self.forward(src, dst, total)
+        for layer, pool, unit, key, ext in records:
+            token = (pool.name, unit.unit_id, unit.generation) + key
+            if layer == "datalog":
+                old = (
+                    dst.store.read_view(block, ext.start, ext.size)
+                    if block in dst.store
+                    else np.zeros(ext.size, dtype=np.uint8)
+                )
+                delta = old ^ ext.data
+                yield self.env.timeout(self.costs.xor(ext.size))
+                # forward before the in-place write (the recycle's crash
+                # discipline), then land the new bytes at the destination
+                yield from self._forward_delta(dst, block, ext.start, delta, token)
+                yield from dst.io_block(
+                    IOKind.WRITE, block, ext.start, ext.size,
+                    IOPriority.BACKGROUND, overwrite=True, tag="tsue-ship",
+                )
+                dst.store.write(block, ext.start, ext.data)
+            else:  # paritylog: merge the pending parity delta into the copy
+                yield from self.parity_rmw(
+                    dst, block, ext.start, ext.data,
+                    IOPriority.BACKGROUND, tag="tsue-ship", frozen_ok=True,
+                )
+        # all landed: mark the source units so their recycle skips the
+        # shipped extents (no yield between here and the caller's
+        # commit_move — the marks and the re-home are atomic)
+        for _layer, _pool, unit, key, _ext in records:
+            unit.recycle_progress.add(key)
+        return total
 
     # ------------------------------------------------------------- metrics
     def log_debt_bytes(self, osd: OSD) -> int:

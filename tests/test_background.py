@@ -448,6 +448,7 @@ def test_bg_catalog_registered():
         "bg-recycle-vs-recovery",
         "bg-rebalance-governor-on",
         "bg-rebalance-governor-off",
+        "bg-storm-crash-recovery",
     }
 
 
