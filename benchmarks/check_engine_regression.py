@@ -1,0 +1,70 @@
+"""Nightly engine-throughput regression gate over the BENCH trajectory.
+
+Compares the newest ``engine`` entry in ``BENCH_engine.json`` against the
+median of the previous (up to) five entries and exits nonzero on a
+regression beyond the tolerance.  Comparisons are host-normalized: each
+entry's events/sec is divided by its recorded ``host_factor``, mapping the
+measurement onto the reference container's speed, so a slow shared CI
+runner doesn't read as a code regression (and a fast one doesn't mask
+it).  A 25% tolerance keeps the gate quiet across ordinary CI-runner
+noise while still catching the step-function slowdowns that matter.
+
+Run from the repo root (CI runs it right after the perf tier appends the
+night's entry)::
+
+    python benchmarks/check_engine_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import sys
+
+_BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: newest entry must reach this fraction of the trailing median
+TOLERANCE = 0.75
+
+#: how many prior entries the trailing median is taken over
+WINDOW = 5
+
+
+def normalized_evps(entry: dict) -> float:
+    """Events/sec mapped onto the reference container's speed."""
+    host_factor = float(entry.get("host_factor", 1.0)) or 1.0
+    return float(entry["events_per_sec"]) / host_factor
+
+
+def main() -> int:
+    if not _BENCH_PATH.exists():
+        print(f"no {_BENCH_PATH.name}: nothing to gate")
+        return 0
+    doc = json.loads(_BENCH_PATH.read_text())
+    engine = [e for e in doc.get("entries", []) if e.get("bench") == "engine"]
+    if len(engine) < 2:
+        print(f"{len(engine)} engine entr{'y' if len(engine) == 1 else 'ies'}: "
+              "no history to compare against")
+        return 0
+    latest, prior = engine[-1], engine[-1 - WINDOW : -1]
+    latest_evps = normalized_evps(latest)
+    median_evps = statistics.median(normalized_evps(e) for e in prior)
+    ratio = latest_evps / median_evps if median_evps > 0 else float("inf")
+    print(
+        f"latest: {latest_evps:,.0f} ev/s (normalized)  |  "
+        f"median of last {len(prior)}: {median_evps:,.0f} ev/s  |  "
+        f"ratio {ratio:.3f} (gate {TOLERANCE})"
+    )
+    if ratio < TOLERANCE:
+        print(
+            f"REGRESSION: engine throughput fell to {ratio:.0%} of the "
+            f"trailing median (allowed floor {TOLERANCE:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 from repro.background.config import BackgroundConfig
 from repro.background.work import STREAMS, WorkItem
 from repro.common.control import aimd_step
-from repro.sim import Event
+from repro.sim import Event, PHASE_LATE
 from repro.storage.base import IOPriority
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -237,6 +237,10 @@ class BackgroundScheduler:
         backlog (bounded), pace by the governed token rate, grant."""
         env = self.ecfs.env
         cfg = self.config
+        # native-µs pacing constants; grant wakeups ride the LATE lane so a
+        # token replenish at tick T sorts after all normal work at T
+        yield_poll_us = round(cfg.yield_poll * 1e6)
+        us_per_byte = 1e6 / cfg.bandwidth
         while True:
             if not lane.heap:
                 lane.wake = Event(env)
@@ -247,10 +251,10 @@ class BackgroundScheduler:
             polls = 0
             while polls < cfg.max_yield_polls and self._foreground_backlog(osd_name):
                 polls += 1
-                yield env.timeout(cfg.yield_poll)
-            duration = item.nbytes / (cfg.bandwidth * self.scale)
-            if duration > 0:
-                yield env.timeout(duration)
+                yield env.timeout_us(yield_poll_us, phase=PHASE_LATE)
+            duration_us = round(item.nbytes * us_per_byte / self.scale)
+            if duration_us > 0:
+                yield env.timeout_us(duration_us, phase=PHASE_LATE)
             stats = self.streams[item.stream]
             stats.granted_items += 1
             stats.granted_bytes += item.nbytes

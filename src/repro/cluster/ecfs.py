@@ -18,7 +18,7 @@ from repro.ec.rs import RSCode
 from repro.metrics.collector import MetricsCollector
 from repro.net.fabric import NetParams, NetworkFabric
 from repro.placement import MigrationPlan, PlacementMap, Topology, make_policy
-from repro.sim import Environment, Event
+from repro.sim import PHASE_LATE, Environment, Event
 from repro.storage.hdd import HDDevice, HDDParams
 from repro.storage.ssd import SSDevice, SSDParams
 
@@ -456,36 +456,48 @@ class ECFS:
             raise ConfigError(f"unknown fill {fill!r}")
         bs = self.config.block_size
         k, m = self.rs.k, self.rs.m
+        spf = stripes_per_file
         file_ids = []
         for _ in range(n_files):
-            meta = self.mds.create_file(stripes_per_file * k * bs)
+            meta = self.mds.create_file(spf * k * bs)
             file_ids.append(meta.file_id)
-            for s in range(stripes_per_file):
-                if fill == "random":
-                    data = [
-                        self._rng.integers(0, 256, bs, dtype=np.uint8)
-                        for _ in range(k)
-                    ]
-                    parity = self.rs.encode(data)
-                    for i, content in enumerate(data + parity):
-                        bid = BlockId(meta.file_id, s, i)
-                        osd = self.osd_hosting(bid)
-                        # fresh per-block arrays: hand ownership to the
-                        # store instead of copying block_size bytes each
-                        osd.store.create(bid, content, own=True)
-                        self.known_blocks.add(bid)
-                        if i < k:
-                            self.oracle.apply(bid, 0, content)
-                            self.oracle.applied_updates -= 1
-                else:
-                    # zero fill: copy-on-write — no per-block allocation in
-                    # the store or the oracle until something writes
+            if fill == "random":
+                # One batched draw per file — bit-identical to the former
+                # per-block draws (same generator stream, same order) — then
+                # one vectorized encode over all stripes laid side by side.
+                draw = self._rng.integers(0, 256, (spf, k, bs), dtype=np.uint8)
+                coded = np.empty((k + m, spf * bs), dtype=np.uint8)
+                # coded[i, s*bs:(s+1)*bs] is block i of stripe s
+                coded[:k] = draw.transpose(1, 0, 2).reshape(k, spf * bs)
+                coded[k:] = self.rs.encode_matrix(coded[:k])
+                # Blocks are read-only views into this one matrix; the
+                # stores/oracle promote to private copies on first write.
+                coded.flags.writeable = False
+                for s in range(spf):
+                    lo = s * bs
+                    hi = lo + bs
                     for i in range(k + m):
                         bid = BlockId(meta.file_id, s, i)
-                        self.osd_hosting(bid).store.create_zero(bid)
+                        content = coded[i, lo:hi]
+                        self.osd_hosting(bid).store.create_shared(bid, content)
                         self.known_blocks.add(bid)
                         if i < k:
-                            self.oracle.touch(bid)
+                            self.oracle.adopt(bid, content)
+            else:
+                # zero fill: copy-on-write — no per-block allocation in
+                # the store or the oracle until something writes
+                bids = [
+                    BlockId(meta.file_id, s, i)
+                    for s in range(spf)
+                    for i in range(k + m)
+                ]
+                by_osd: dict = {}
+                for bid in bids:
+                    by_osd.setdefault(self.osd_hosting(bid), []).append(bid)
+                for osd, osd_bids in by_osd.items():
+                    osd.store.create_zero_many(osd_bids)
+                self.known_blocks.update(bids)
+                self.oracle.touch_many(b for b in bids if b.idx < k)
             self.mds.mark_written(meta.file_id, 0, meta.size)
         return file_ids
 
@@ -521,7 +533,9 @@ class ECFS:
                 break
             yield from self.method.resync_parity()
             yield from flush_tolerant()
-            yield self.env.timeout(1e-3)
+            # settle retries ride the LATE lane: a re-check at tick T runs
+            # after all normal work scheduled for T
+            yield self.env.timeout_us(1000, phase=PHASE_LATE)
 
     def verify(self) -> int:
         """Check every touched stripe against the oracle; returns count."""

@@ -43,6 +43,32 @@ class GroundTruth:
         """Register a known-zero block without allocating (CoW template)."""
         self._blocks.setdefault(block, self._zero)
 
+    def touch_many(self, blocks: Iterable[BlockId]) -> None:
+        """Bulk :meth:`touch` for the zero-fill populate path."""
+        zero = self._zero
+        setdefault = self._blocks.setdefault
+        for block in blocks:
+            setdefault(block, zero)
+
+    def adopt(self, block: BlockId, data: np.ndarray) -> None:
+        """Register initial content zero-copy, outside update accounting.
+
+        Stores a read-only view sharing the caller's buffer (the vectorized
+        populate path carves blocks out of one backing matrix); the
+        copy-on-write promotion in :meth:`apply` gives the block a private
+        array on its first real update.  Does not count toward
+        :attr:`applied_updates` — this is initial state, not an update.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.block_size,):
+            raise IntegrityError(
+                f"oracle adopt: size {data.shape} != {self.block_size}"
+            )
+        if data.flags.writeable:
+            data = data.view()
+            data.flags.writeable = False
+        self._blocks[block] = data
+
     def ensure(self, block: BlockId) -> np.ndarray:
         arr = self._blocks.get(block)
         if arr is None:

@@ -1,0 +1,36 @@
+"""Host-side performance helpers (no simulated-time semantics).
+
+The simulators allocate enough short-lived objects that ambient CPython
+gen-2 GC passes — whose cost scales with everything *earlier* work left
+alive in the process — can multiply a ~1 s run's wall clock several-fold.
+Nothing in a simulation run creates reference cycles it needs collected
+mid-flight, so the timed sections park the collector: collect once up
+front (so the heap handed to the run is clean), disable, and re-enable
+afterwards.  Nested uses are safe; the collector is only re-enabled by
+the outermost frame that actually disabled it.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["parked_gc"]
+
+
+@contextmanager
+def parked_gc(collect_first: bool = True) -> Iterator[None]:
+    """Run the body with the cyclic GC disabled (see module docstring)."""
+    if not gc.isenabled():
+        # already parked by an outer frame (or the host runs GC-free):
+        # don't collect, don't re-enable early
+        yield
+        return
+    if collect_first:
+        gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.common.errors import ConfigError, DecodeError
 from repro.ec.matrices import coding_matrix
-from repro.gf.field import gf_mul_scalar
+from repro.gf.field import gf_mul_row, gf_mul_scalar
 from repro.gf.matrix import gf_mat_inv, identity
 
 __all__ = ["RSCode"]
@@ -44,15 +44,38 @@ class RSCode:
     def encode(self, data_blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Compute the m parity blocks for k equal-sized data blocks."""
         blocks = self._as_block_matrix(data_blocks, self.k)
-        parities = []
+        return list(self.encode_matrix(blocks))
+
+    def encode_matrix(self, data: np.ndarray) -> np.ndarray:
+        """Vectorized encode of a ``(k, n)`` uint8 matrix into ``(m, n)``.
+
+        ``n`` can span many stripes laid side by side: GF arithmetic is
+        column-independent, so encoding the concatenation equals
+        concatenating per-stripe encodes.  The bulk-populate path uses this
+        to amortize coefficient dispatch over a whole file instead of
+        paying it per block.  One scratch row is reused for every gather
+        (``np.take(..., out=)``), so the only allocation is the output.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ConfigError(
+                f"expected a ({self.k}, n) data matrix, got {data.shape}"
+            )
+        n = data.shape[1]
+        out = np.zeros((self.m, n), dtype=np.uint8)
+        tmp = np.empty(n, dtype=np.uint8)
         for i in range(self.m):
-            acc = np.zeros(blocks.shape[1], dtype=np.uint8)
+            row = out[i]
             for j in range(self.k):
                 coef = int(self.coding[i, j])
-                if coef:
-                    acc ^= gf_mul_scalar(coef, blocks[j])
-            parities.append(acc)
-        return parities
+                if coef == 0:
+                    continue
+                if coef == 1:
+                    row ^= data[j]
+                else:
+                    np.take(gf_mul_row(coef), data[j], out=tmp)
+                    row ^= tmp
+        return out
 
     def verify(
         self, data_blocks: Sequence[np.ndarray], parity_blocks: Sequence[np.ndarray]

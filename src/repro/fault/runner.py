@@ -27,6 +27,7 @@ from repro.background.config import BackgroundConfig
 from repro.cluster.config import ClusterConfig
 from repro.cluster.ecfs import ECFS
 from repro.cluster.heartbeat import HeartbeatService
+from repro.common.perf import parked_gc
 from repro.common.units import KiB
 from repro.fault.digest import cluster_digest
 from repro.fault.events import FaultSchedule
@@ -215,6 +216,13 @@ class ScenarioRunner:
         self.spec = spec
 
     def run(self, seed: int = 2025) -> ScenarioResult:
+        # the cyclic GC is parked for the whole timed run (see
+        # repro.common.perf): ambient gen-2 passes distort scenario wall
+        # clocks the same way they distort run_experiment's
+        with parked_gc():
+            return self._run(seed)
+
+    def _run(self, seed: int) -> ScenarioResult:
         import time as _time
 
         wall0 = _time.perf_counter()

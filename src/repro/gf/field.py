@@ -19,6 +19,7 @@ __all__ = [
     "gf_add",
     "gf_mul",
     "gf_mul_scalar",
+    "gf_mul_row",
     "gf_div",
     "gf_inv",
     "gf_pow",
@@ -90,6 +91,22 @@ def gf_mul_scalar(coef: int, data) -> np.ndarray:
     if coef == 1:
         return data.copy()
     return np.take(_MUL[coef], data)
+
+
+def gf_mul_row(coef: int) -> np.ndarray:
+    """Read-only multiplication-table row for ``coef``.
+
+    Batched encode kernels gather through the row themselves
+    (``np.take(row, data, out=tmp)``) to reuse a preallocated output
+    instead of paying one temporary per coefficient like
+    :func:`gf_mul_scalar`.
+    """
+    coef = int(coef)
+    if not 0 <= coef < 256:
+        raise ValueError(f"coefficient {coef} outside GF(256)")
+    row = _MUL[coef].view()
+    row.flags.writeable = False
+    return row
 
 
 def gf_div(a, b) -> np.ndarray:

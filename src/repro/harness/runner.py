@@ -9,6 +9,7 @@ from typing import Any, Optional
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.ecfs import ECFS
+from repro.common.perf import parked_gc
 from repro.common.units import KiB, MiB
 from repro.metrics.workload import WorkloadReport, aggregate_workload
 from repro.net.fabric import NetParams
@@ -114,7 +115,18 @@ class ExperimentResult:
 
 
 def run_experiment(cfg: ExperimentConfig, keep_cluster: bool = False) -> ExperimentResult:
-    """Build, populate, replay, (optionally) drain+verify, measure."""
+    """Build, populate, replay, (optionally) drain+verify, measure.
+
+    The whole timed section runs with the cyclic GC parked
+    (:func:`repro.common.perf.parked_gc`): ambient gen-2 passes scale with
+    whatever earlier work left alive in the process and can multiply the
+    wall clock several-fold, corrupting the recorded ``perf`` numbers.
+    """
+    with parked_gc():
+        return _run_experiment(cfg, keep_cluster)
+
+
+def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResult:
     wall0 = time.perf_counter()
     from repro.harness.prefix import cached_trace, populate_cached
 

@@ -88,7 +88,10 @@ __all__ = [
 #:    content instead of blocking on whole-cluster drains — topo-* digest
 #:    VALUES shift; recovery flushes bypass governed recycle pacing,
 #:    reordering background grants)
-CACHE_SCHEMA = 5
+#: 6: integer-microsecond event core (service/wire times round onto the
+#:    µs grid, shifting every latency and therefore digest VALUES;
+#:    cached cells from the float-time engine must not be replayed)
+CACHE_SCHEMA = 6
 
 
 def config_key(cfg: ExperimentConfig) -> str:

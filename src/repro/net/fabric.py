@@ -16,7 +16,7 @@ from typing import Generator, Iterable
 import numpy as np
 
 from repro.common.units import Gbps
-from repro.sim import Environment, Event, Resource, Timeout
+from repro.sim import Environment, Event, Resource
 
 __all__ = ["NetParams", "LinkFault", "NIC", "NetworkFabric"]
 
@@ -95,6 +95,10 @@ class NetworkFabric:
         self.env = env
         self.params = params or NetParams()
         self.params.validate()
+        # native integer-µs constants for the transfer hot path
+        self._overhead_us = round(self.params.per_message_overhead * 1e6)
+        self._latency_us = round(self.params.latency * 1e6)
+        self._us_per_byte = 1e6 / self.params.bandwidth
         self.nics: dict[str, NIC] = {}
         self.total_bytes = 0
         self.total_msgs = 0
@@ -169,7 +173,6 @@ class NetworkFabric:
             raise ValueError("nbytes must be >= 0")
         if src == dst:
             return  # local move: no network cost, no accounting
-        p = self.params
         src_nic = self._nic(src)
         dst_nic = self._nic(dst)
 
@@ -193,7 +196,8 @@ class NetworkFabric:
             loss = 1.0 - (1.0 - (src_fault.loss_prob if src_fault else 0.0)) * (
                 1.0 - (dst_fault.loss_prob if dst_fault else 0.0)
             )
-            wire_time = nbytes / (p.bandwidth * bw_factor)
+            wire_us = round(nbytes * self._us_per_byte / bw_factor)
+            extra_us = round(extra_latency * 1e6)
             # Lossy links retransmit after a timeout (deterministic RNG
             # stream).
             while loss > 0 and self._loss_rng.random() < loss:
@@ -202,20 +206,20 @@ class NetworkFabric:
         else:
             # fault-free fast path (the overwhelmingly common case): no
             # fault-dict probes, no loss draw
-            extra_latency = 0.0
-            wire_time = nbytes / p.bandwidth
+            extra_us = 0
+            wire_us = round(nbytes * self._us_per_byte)
 
         env = self.env
         with src_nic.tx.request() as tx:
             yield tx
-            yield Timeout(env, p.per_message_overhead + wire_time)
+            yield env.timeout_us(self._overhead_us + wire_us)
         # Propagation through the fabric.
-        yield Timeout(env, p.latency + extra_latency)
+        yield env.timeout_us(self._latency_us + extra_us)
         # Receiver-side occupancy: the RX port is busy for the wire time too
         # (it cannot accept two full-rate flows at once).
         with dst_nic.rx.request() as rx:
             yield rx
-            yield Timeout(env, wire_time)
+            yield env.timeout_us(wire_us)
 
         src_nic.tx_bytes += nbytes
         src_nic.tx_msgs += 1

@@ -12,10 +12,17 @@ cluster model needs:
 * :class:`Store` — producer/consumer queue used for mailboxes and pipelines,
 * :class:`Interrupt` — cooperative cancellation (used by failure injection).
 
-All simulated time is in **seconds** (float).
+The public API is in **seconds** (float); the engine itself runs on an
+integer-microsecond clock with ``(t_us, phase, seq)`` event ordering — see
+:mod:`repro.sim.core` for the native-µs entry points (``timeout_us``,
+``now_us``, ``schedule_at_us``) and the :data:`PHASE_URGENT` /
+:data:`PHASE_NORMAL` / :data:`PHASE_LATE` same-time lanes.
 """
 
 from repro.sim.core import (
+    PHASE_LATE,
+    PHASE_NORMAL,
+    PHASE_URGENT,
     AllOf,
     AnyOf,
     Environment,
@@ -35,6 +42,9 @@ __all__ = [
     "Event",
     "Interrupt",
     "Lane",
+    "PHASE_LATE",
+    "PHASE_NORMAL",
+    "PHASE_URGENT",
     "PriorityResource",
     "Process",
     "Resource",

@@ -1,19 +1,42 @@
 """Core of the discrete-event engine: events, processes, environment.
 
+Time representation
+-------------------
+The clock is an **integer count of microseconds** (``Environment._now``).
+Heap entries are ordered by ``(t_us, phase, seq)``:
+
+* ``t_us`` — integer microsecond timestamp (exact arithmetic: hours of
+  simulated time accumulate no float error);
+* ``phase`` — the same-time lane: :data:`PHASE_URGENT` (0, process
+  initialization and interrupts), :data:`PHASE_NORMAL` (1, the default),
+  :data:`PHASE_LATE` (2, settle/maintenance wakeups that must sort after
+  all normal work at the same tick);
+* ``seq`` — a global schedule-order counter breaking ties FIFO.
+
+The public API stays in float **seconds**: ``timeout``/``schedule_at``/
+``peek``/``run(until=...)`` convert at the boundary (``round(s * 1e6)``),
+so every existing caller keeps working.  Hot internal callers use the
+native integer entry points (``timeout_us``, ``now_us``, ``peek_us``,
+``schedule_at_us``) and skip the float conversion entirely.
+
 Hot-path notes
 --------------
-The engine is the profiled bottleneck of every experiment (a 1500-op TSUE
-run spends ~80% of wall-clock in ``step``/``_resume``/generator sends), so
-the event loop is written for throughput:
+The engine is the profiled bottleneck of every experiment, so the event
+loop is written for throughput:
 
-* :meth:`Environment.run` inlines the step loop with local bindings — one
-  heap pop, one state flip, and the callback sweep per event, with no
-  method-call dispatch per event;
-* scheduling stamps the event (``_tie``) instead of rebuilding bookkeeping
-  tuples per event elsewhere; :meth:`Environment.schedule_at` is the
-  absolute-time fast path;
+* :meth:`Environment.run` drains **all events at one timestamp per outer
+  iteration** (batched same-time drain): the clock is written once per
+  distinct ``t_us``, and the callback sweep runs with local bindings and
+  no method-call dispatch per event;
+* zero-delay events scheduled *during* the active drain (process spawns,
+  wakeups, uncontended grants — the majority of all events in a dense
+  run) go to per-phase FIFO **bucket deques** instead of the heap: no
+  key-tuple allocation, no sift.  Heap entries at the draining timestamp
+  always predate bucket entries (anything scheduled mid-drain for the
+  current tick is bucketed), so heap-before-bucket within a phase *is*
+  ``seq`` order;
 * events carry a cancellation flag (:meth:`Event.cancel`): a cancelled
-  entry is discarded when popped — no heap surgery, no callbacks, no
+  entry is discarded when reached — no heap surgery, no callbacks, no
   clock movement — which is what makes abandoning a pending
   :class:`Timeout` (interrupted processes, raced waiters) free;
 * a process yielding an already-processed event resumes inline without a
@@ -21,13 +44,13 @@ the event loop is written for throughput:
   uncontended grants (see :mod:`repro.sim.resources`).
 
 Tie-break ordering: events scheduled at the same simulated time process in
-(priority, schedule-order) order; ``priority=0`` (process initialization,
-interrupts) beats the default ``priority=1``.  :meth:`Environment.peek`
-reports the next non-cancelled entry's time.
+(phase, schedule-order) order; :meth:`Environment.peek` reports the next
+non-cancelled entry's time.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -41,9 +64,17 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
+    "PHASE_URGENT",
+    "PHASE_NORMAL",
+    "PHASE_LATE",
 ]
 
 _INF = float("inf")
+
+#: same-time lanes: urgent (init/interrupt) < normal < late (settle/maintenance)
+PHASE_URGENT = 0
+PHASE_NORMAL = 1
+PHASE_LATE = 2
 
 
 class SimulationError(RuntimeError):
@@ -77,7 +108,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused",
-                 "_cancelled", "_tie")
+                 "_cancelled", "_seq")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -122,10 +153,13 @@ class Event:
         self._value = value
         self._state = _TRIGGERED
         env = self.env
-        tie = env._counter
-        env._counter = tie + 1
-        self._tie = tie
-        heappush(env._heap, (env._now, 1, tie, self))
+        seq = env._counter
+        env._counter = seq + 1
+        self._seq = seq
+        if env._draining:
+            env._bucket1.append(self)
+        else:
+            heappush(env._heap, (env._now, PHASE_NORMAL, seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -144,7 +178,7 @@ class Event:
         """Discard a scheduled-but-unprocessed event (a heap-surgery-free
         cancellation flag).
 
-        The heap entry stays put; the event loop drops it when popped — no
+        The heap entry stays put; the event loop drops it when reached — no
         callbacks run, the clock does not advance for it, and it never counts
         as a processed event.  Cancelling is only meaningful for events
         nothing waits on (cancel drops any callbacks silently); waiters that
@@ -169,13 +203,19 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` seconds after creation."""
+    """An event that fires ``delay`` seconds after creation.
 
-    __slots__ = ("delay",)
+    The delay is quantized to the engine's integer-microsecond grid at
+    construction; :attr:`delay` reports the quantized value in seconds and
+    :attr:`delay_us` the native integer.
+    """
+
+    __slots__ = ("_delay_us",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
+        d_us = round(delay * 1e6)
         # Inlined Event.__init__ + succeed: a Timeout is born triggered.
         self.env = env
         self.callbacks = []
@@ -183,12 +223,23 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self._cancelled = False
-        self.delay = delay
+        self._delay_us = d_us
         self._state = _TRIGGERED
-        tie = env._counter
-        env._counter = tie + 1
-        self._tie = tie
-        heappush(env._heap, (env._now + delay, 1, tie, self))
+        seq = env._counter
+        env._counter = seq + 1
+        self._seq = seq
+        if d_us == 0 and env._draining:
+            env._bucket1.append(self)
+        else:
+            heappush(env._heap, (env._now + d_us, PHASE_NORMAL, seq, self))
+
+    @property
+    def delay(self) -> float:
+        return self._delay_us / 1e6
+
+    @property
+    def delay_us(self) -> int:
+        return self._delay_us
 
 
 class Initialize(Event):
@@ -204,10 +255,13 @@ class Initialize(Event):
         self._defused = False
         self._cancelled = False
         self._state = _TRIGGERED
-        tie = env._counter
-        env._counter = tie + 1
-        self._tie = tie
-        heappush(env._heap, (env._now, 0, tie, self))
+        seq = env._counter
+        env._counter = seq + 1
+        self._seq = seq
+        if env._draining:
+            env._bucket0.append(self)
+        else:
+            heappush(env._heap, (env._now, PHASE_URGENT, seq, self))
 
 
 class Lane:
@@ -310,7 +364,7 @@ class Process(Event):
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
         interrupt_ev._state = _TRIGGERED
-        self.env._schedule(interrupt_ev, priority=0)
+        self.env._schedule(interrupt_ev, priority=PHASE_URGENT)
 
     # Make the process usable directly as a callback.
     def __call__(self, event: Event) -> None:  # pragma: no cover - alias
@@ -441,18 +495,28 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation clock and event loop."""
+    """The simulation clock and event loop (integer-microsecond time)."""
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._now: int = round(float(initial_time) * 1e6)
+        self._heap: list[tuple[int, int, int, Event]] = []
         self._counter = 0
         self._steps = 0
         self._active_proc: Optional[Process] = None
+        # Per-phase FIFO buckets for zero-delay events scheduled while the
+        # run loop is draining the current timestamp (see module docstring).
+        self._bucket0: deque[Event] = deque()
+        self._bucket1: deque[Event] = deque()
+        self._draining = False
 
     @property
     def now(self) -> float:
-        """Current simulated time in seconds."""
+        """Current simulated time in seconds (``now_us / 1e6``)."""
+        return self._now / 1e6
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in integer microseconds (native)."""
         return self._now
 
     @property
@@ -470,6 +534,36 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_us(
+        self, delay_us: int, value: Any = None, phase: int = PHASE_NORMAL
+    ) -> Timeout:
+        """Native integer-microsecond timeout (no float conversion).
+
+        ``phase`` selects the same-time lane; :data:`PHASE_LATE` wakeups
+        sort after all normal work at their tick (used by maintenance
+        pacing so background grants never preempt same-instant foreground
+        events).
+        """
+        if delay_us < 0:
+            raise ValueError(f"negative timeout delay {delay_us!r}us")
+        ev = Timeout.__new__(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._defused = False
+        ev._cancelled = False
+        ev._delay_us = delay_us
+        ev._state = _TRIGGERED
+        seq = self._counter
+        self._counter = seq + 1
+        ev._seq = seq
+        if delay_us == 0 and self._draining and phase == PHASE_NORMAL:
+            self._bucket1.append(ev)
+        else:
+            heappush(self._heap, (self._now + delay_us, phase, seq, ev))
+        return ev
 
     def timeout_at(self, when: float, value: Any = None) -> Event:
         """An event firing at the *absolute* simulated time ``when`` (the
@@ -495,24 +589,62 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        tie = self._counter
-        self._counter = tie + 1
-        event._tie = tie
-        heappush(self._heap, (self._now + delay, priority, tie, event))
+        """Float-seconds scheduling shim (``priority`` is the phase lane)."""
+        seq = self._counter
+        self._counter = seq + 1
+        event._seq = seq
+        if delay:
+            heappush(
+                self._heap, (self._now + round(delay * 1e6), priority, seq, event)
+            )
+        elif self._draining and priority == PHASE_NORMAL:
+            self._bucket1.append(event)
+        elif self._draining and priority == PHASE_URGENT:
+            self._bucket0.append(event)
+        else:
+            heappush(self._heap, (self._now, priority, seq, event))
 
     def schedule_at(self, event: Event, when: float, priority: int = 1) -> None:
-        """Absolute-time scheduling fast path (no delay arithmetic).
+        """Absolute-time scheduling in float seconds (shim over
+        :meth:`schedule_at_us`).
 
         ``event`` must already be triggered-but-unscheduled by the caller
         (engine-internal use) or be an externally managed event; ``when``
         must not be in the past.
         """
-        if when < self._now:
-            raise ValueError(f"schedule_at({when}) is in the past (now={self._now})")
-        tie = self._counter
-        self._counter = tie + 1
-        event._tie = tie
-        heappush(self._heap, (when, priority, tie, event))
+        self.schedule_at_us(event, round(when * 1e6), priority)
+
+    def schedule_at_us(
+        self, event: Event, when_us: int, phase: int = PHASE_NORMAL
+    ) -> None:
+        """Absolute-time scheduling fast path (native integer microseconds)."""
+        now = self._now
+        if when_us < now:
+            raise ValueError(
+                f"schedule_at({when_us / 1e6}) is in the past (now={now / 1e6})"
+            )
+        seq = self._counter
+        self._counter = seq + 1
+        event._seq = seq
+        if when_us == now and self._draining and phase == PHASE_NORMAL:
+            self._bucket1.append(event)
+        else:
+            heappush(self._heap, (when_us, phase, seq, event))
+
+    def peek_us(self) -> Optional[int]:
+        """Integer-µs time of the next live entry, or ``None`` if none."""
+        b0 = self._bucket0
+        while b0 and b0[0]._cancelled:
+            b0.popleft()._state = _PROCESSED
+        b1 = self._bucket1
+        while b1 and b1[0]._cancelled:
+            b1.popleft()._state = _PROCESSED
+        if b0 or b1:
+            return self._now
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)[3]._state = _PROCESSED
+        return heap[0][0] if heap else None
 
     def peek(self) -> float:
         """Time of the next live (non-cancelled) entry, or +inf if none.
@@ -520,16 +652,14 @@ class Environment:
         Cancelled placeholders at the head are discarded here, so ``peek``
         and the run loop agree on what fires next.
         """
-        heap = self._heap
-        while heap and heap[0][3]._cancelled:
-            heappop(heap)[3]._state = _PROCESSED
-        return heap[0][0] if heap else _INF
+        t_us = self.peek_us()
+        return _INF if t_us is None else t_us / 1e6
 
     def step(self) -> None:
         """Process exactly one event (cancelled entries are skipped)."""
         heap = self._heap
         while heap:
-            when, _prio, _tie, event = heappop(heap)
+            when, _phase, _seq, event = heappop(heap)
             if event._cancelled:
                 event._state = _PROCESSED
                 continue
@@ -548,33 +678,100 @@ class Environment:
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
 
-        ``until`` may be a time (float), an :class:`Event` (returns its
-        value), or ``None`` (drain all events).
+        ``until`` may be a time (float seconds), an :class:`Event` (returns
+        its value), or ``None`` (drain all events).
 
         When ``until`` is an event, the loop additionally drains events at
         the stop event's timestamp that were *scheduled before it* (smaller
-        tie-break counter), in heap order, stopping at the first entry that
+        ``seq``), in (phase, seq) order, stopping at the first entry that
         is later-scheduled or later-timed.  Work enqueued at the same
         instant ahead of the stop event therefore completes before control
         returns — and :meth:`peek` afterwards reports either a later time or
-        a same-time event scheduled after the stop.  (The seed engine
-        returned immediately, leaving earlier same-timestamp events pending.)
+        a same-time event scheduled after the stop.
+
+        The loop drains all events at one ``t_us`` per outer iteration:
+        the clock is set once per distinct timestamp, and zero-delay events
+        scheduled by callbacks land in per-phase FIFO buckets that are
+        consumed in-place (no heap traffic).  Any bucket leftovers (an
+        event-mode stop mid-timestamp, or an unhandled failure) are flushed
+        back to the heap on exit, preserving their ``seq`` order.
         """
         heap = self._heap
+        b0 = self._bucket0
+        b1 = self._bucket1
+        stop: Optional[Event] = None
+        deadline: Optional[int] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.env is not self:
+                    raise SimulationError("`until` belongs to another environment")
+                if stop._state == _PROCESSED:
+                    if not stop._ok:
+                        raise stop._value
+                    return stop._value
+            else:
+                u = float(until)
+                if u != _INF:
+                    deadline = round(u * 1e6)
+                    if deadline < self._now:
+                        raise ValueError(
+                            f"until={u} is in the past (now={self._now / 1e6})"
+                        )
         steps = 0
-        if isinstance(until, Event):
-            stop_ev = until
-            try:
-                while stop_ev._state != _PROCESSED:
-                    if not heap:
+        limit: Optional[int] = None  # seq bound for the event-mode tie drain
+        self._draining = True
+        try:
+            while True:
+                # Scrub cancelled entries so a timestamp with no live event
+                # never advances the clock.
+                while heap and heap[0][3]._cancelled:
+                    heappop(heap)[3]._state = _PROCESSED
+                if not heap:
+                    if stop is not None:
                         raise SimulationError(
                             "simulation ran out of events before `until` fired"
                         )
-                    when, _prio, _tie, event = heappop(heap)
+                    break
+                t = heap[0][0]
+                if deadline is not None and t > deadline:
+                    break
+                self._now = t
+                # Batched same-time drain: everything due at t, in
+                # (phase, seq) order across the heap and the buckets.
+                while True:
+                    if b0:
+                        # Heap URGENT entries at t predate all bucket ones.
+                        if heap and heap[0][0] == t and heap[0][1] == PHASE_URGENT:
+                            seq = heap[0][2]
+                            src = 0
+                        else:
+                            seq = b0[0]._seq
+                            src = 1
+                    elif heap and heap[0][0] == t:
+                        h = heap[0]
+                        if h[1] <= PHASE_NORMAL or not b1:
+                            seq = h[2]
+                            src = 0
+                        else:  # bucketed NORMAL arrivals beat heap LATE ones
+                            seq = b1[0]._seq
+                            src = 2
+                    elif b1:
+                        seq = b1[0]._seq
+                        src = 2
+                    else:
+                        break
+                    if limit is not None and seq >= limit:
+                        break
+                    if src == 0:
+                        event = heappop(heap)[3]
+                    elif src == 1:
+                        event = b0.popleft()
+                    else:
+                        event = b1.popleft()
                     if event._cancelled:
                         event._state = _PROCESSED
                         continue
-                    self._now = when
                     steps += 1
                     callbacks = event.callbacks
                     event.callbacks = []
@@ -582,54 +779,34 @@ class Environment:
                     for cb in callbacks:
                         cb(event)
                     if not event._ok and not event._defused:
-                        raise event._value
-                # Tie-break drain: finish same-timestamp events that were
-                # scheduled before the stop event (see docstring).  An event
-                # finished inline (never heap-scheduled) has no tie stamp
-                # and nothing to drain ahead of it.
-                stop_tie = getattr(stop_ev, "_tie", None)
-                if stop_tie is None:
-                    stop_tie = -1
+                        raise event._value  # unhandled failure
+                    if stop is not None and stop._state == _PROCESSED:
+                        # Tie-break drain: finish same-timestamp events that
+                        # were scheduled before the stop event (see
+                        # docstring).  An event finished inline (never
+                        # scheduled) has no seq stamp and drains nothing.
+                        limit = getattr(stop, "_seq", -1)
+                        stop = None
+                if limit is not None:
+                    break
+        finally:
+            self._draining = False
+            if b0 or b1:
+                # Flush mid-timestamp leftovers back to the heap (seq order
+                # is preserved in the keys).
                 now = self._now
-                while heap and heap[0][0] == now and heap[0][2] < stop_tie:
-                    _when, _prio, _tie, event = heappop(heap)
-                    if event._cancelled:
-                        event._state = _PROCESSED
-                        continue
-                    steps += 1
-                    callbacks = event.callbacks
-                    event.callbacks = []
-                    event._state = _PROCESSED
-                    for cb in callbacks:
-                        cb(event)
-                    if not event._ok and not event._defused:
-                        raise event._value
-            finally:
-                self._steps += steps
+                for ev in b0:
+                    heappush(heap, (now, PHASE_URGENT, ev._seq, ev))
+                b0.clear()
+                for ev in b1:
+                    heappush(heap, (now, PHASE_NORMAL, ev._seq, ev))
+                b1.clear()
+            self._steps += steps
+        if limit is not None:
+            stop_ev = until  # type: ignore[assignment]
             if not stop_ev._ok:
                 raise stop_ev._value
             return stop_ev._value
-
-        deadline = _INF if until is None else float(until)
-        if deadline != _INF and deadline < self._now:
-            raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        try:
-            while heap and heap[0][0] <= deadline:
-                when, _prio, _tie, event = heappop(heap)
-                if event._cancelled:
-                    event._state = _PROCESSED
-                    continue
-                self._now = when
-                steps += 1
-                callbacks = event.callbacks
-                event.callbacks = []
-                event._state = _PROCESSED
-                for cb in callbacks:
-                    cb(event)
-                if not event._ok and not event._defused:
-                    raise event._value  # unhandled failure
-        finally:
-            self._steps += steps
-        if deadline != _INF:
+        if deadline is not None:
             self._now = deadline
         return None

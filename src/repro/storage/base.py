@@ -107,7 +107,7 @@ class StorageDevice:
         # fault-injection state (repro.fault): service-time inflation and a
         # stuck interval during which no command completes
         self.slow_factor = 1.0
-        self._stuck_until = 0.0
+        self._stuck_until_us = 0
         self.fault_delay_time = 0.0
 
     # ------------------------------------------------------------------ API
@@ -117,14 +117,18 @@ class StorageDevice:
         """
         with self.resource.request(priority=req.priority) as grant:
             yield grant
-            if self.env.now < self._stuck_until:
-                delay = self._stuck_until - self.env.now
-                self.fault_delay_time += delay
-                yield self.env.timeout(delay)
+            env = self.env
+            now_us = env.now_us
+            if now_us < self._stuck_until_us:
+                delay_us = self._stuck_until_us - now_us
+                self.fault_delay_time += delay_us / 1e6
+                yield env.timeout_us(delay_us)
             sequential = self._classify(req)
-            service = self._service_time(req, sequential) * self.slow_factor
-            self._account(req, sequential, service)
-            yield self.env.timeout(service)
+            service_us = self._service_time_us(req, sequential)
+            if self.slow_factor != 1.0:
+                service_us = round(service_us * self.slow_factor)
+            self._account(req, sequential, service_us / 1e6)
+            yield env.timeout_us(service_us)
 
     # --------------------------------------------------------- fault control
     def set_slowdown(self, factor: float) -> None:
@@ -138,7 +142,9 @@ class StorageDevice:
         ``duration`` seconds from now (models a stuck/timeout-prone disk)."""
         if duration < 0:
             raise ValueError("stuck duration must be non-negative")
-        self._stuck_until = max(self._stuck_until, self.env.now + duration)
+        self._stuck_until_us = max(
+            self._stuck_until_us, self.env.now_us + round(duration * 1e6)
+        )
 
     def estimate(self, req: IORequest) -> float:
         """Service time the request *would* take now (no queueing, no state
@@ -166,6 +172,12 @@ class StorageDevice:
 
     def _service_time(self, req: IORequest, sequential: bool) -> float:
         raise NotImplementedError
+
+    def _service_time_us(self, req: IORequest, sequential: bool) -> int:
+        """Integer-µs service time; the engine runs on this grid.  The
+        default quantizes :meth:`_service_time`; hot device models override
+        it with precomputed native-µs constants."""
+        return round(self._service_time(req, sequential) * 1e6)
 
     def _account(self, req: IORequest, sequential: bool, service: float) -> None:
         c = self.counters

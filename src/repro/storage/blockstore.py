@@ -7,7 +7,7 @@ that still decode (see the integrity oracle in :mod:`repro.cluster.verify`).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
@@ -65,12 +65,43 @@ class BlockStore:
             else:
                 self._blocks[block_id] = data.copy()
 
+    def create_shared(self, block_id: Hashable, data: np.ndarray) -> None:
+        """Materialize a block as a read-only view sharing ``data``'s buffer.
+
+        The zero-copy sibling of ``create(own=True)`` for bulk paths that
+        carve many blocks out of one backing matrix (vectorized populate):
+        the store keeps a read-only view, so the usual copy-on-write
+        promotion in :meth:`_writable` gives the block a private array on
+        its first mutation.  The caller must not mutate the backing buffer
+        afterwards.
+        """
+        if block_id in self._blocks:
+            raise IntegrityError(f"block {block_id!r} already exists")
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.block_size,):
+            raise IntegrityError(
+                f"block {block_id!r}: size {data.shape} != {self.block_size}"
+            )
+        if data.flags.writeable:
+            data = data.view()
+            data.flags.writeable = False
+        self._blocks[block_id] = data
+
     def create_zero(self, block_id: Hashable) -> None:
         """Materialize a zero-filled block sharing the CoW template (no
         allocation); promoted to a private copy on first mutation."""
         if block_id in self._blocks:
             raise IntegrityError(f"block {block_id!r} already exists")
         self._blocks[block_id] = self._zero
+
+    def create_zero_many(self, block_ids: Iterable[Hashable]) -> None:
+        """Bulk :meth:`create_zero`: one existence sweep, one dict update."""
+        ids = list(block_ids)
+        for bid in ids:
+            if bid in self._blocks:
+                raise IntegrityError(f"block {bid!r} already exists")
+        zero = self._zero
+        self._blocks.update((bid, zero) for bid in ids)
 
     def ensure(self, block_id: Hashable) -> np.ndarray:
         if block_id not in self._blocks:

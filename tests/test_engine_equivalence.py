@@ -17,8 +17,10 @@ import itertools
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.sim import Environment
+from repro.sim import PHASE_LATE, PHASE_NORMAL, PHASE_URGENT, Environment
 
 
 # --------------------------------------------------------- reference engine
@@ -227,7 +229,103 @@ def test_randomized_program_matches_reference_engine(seed):
     opt_trace = _drive(env, env.all_of, env.any_of, program, n_events, [])
 
     assert opt_trace == ref_trace
-    assert env.now == ref_env.now
+    # The integer-µs core accumulates delays exactly; the float reference
+    # drifts by ulps (e.g. 20.296999999999997 vs 20.297).  Compare on the
+    # microsecond grid, where both must agree.
+    assert env.now_us == round(ref_env.now * 1e6)
+    assert env.now == pytest.approx(ref_env.now, abs=1e-9)
+
+
+# ------------------------------------------- integer-µs key-order properties
+# The engine orders the heap by (t_us, phase, seq); the seed engine ordered
+# by (float_t, priority, tie).  For any schedule whose times sit on the µs
+# grid — which is every time the engine can represent — the two orders must
+# be the same permutation.
+
+_SCHEDULE = st.lists(
+    st.tuples(
+        # up to ~11.5 simulated days in µs: far beyond any scenario, far
+        # below where float64 could start conflating distinct µs values
+        st.integers(min_value=0, max_value=10**12),
+        st.sampled_from([PHASE_URGENT, PHASE_NORMAL, PHASE_LATE]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(_SCHEDULE)
+@settings(deadline=None)
+def test_int_key_order_reproduces_float_reference_order(entries):
+    int_keys = [(t_us, phase, seq) for seq, (t_us, phase) in enumerate(entries)]
+    float_keys = [
+        (t_us / 1e6, phase, seq) for seq, (t_us, phase) in enumerate(entries)
+    ]
+    assert sorted(range(len(entries)), key=int_keys.__getitem__) == sorted(
+        range(len(entries)), key=float_keys.__getitem__
+    )
+
+
+@given(_SCHEDULE)
+@settings(deadline=None, max_examples=50)
+def test_engine_fires_in_float_reference_order(entries):
+    """Same property end-to-end: timeouts scheduled with explicit phases
+    fire in exactly the order the seed's float keys would have produced."""
+    env = Environment()
+    order = []
+    for i, (t_us, phase) in enumerate(entries):
+        timeout = env.timeout_us(t_us, phase=phase)
+        timeout.callbacks.append(lambda _ev, i=i: order.append(i))
+    env.run()
+    expected = sorted(
+        range(len(entries)),
+        key=lambda i: (entries[i][0] / 1e6, entries[i][1], i),
+    )
+    assert order == expected
+
+
+def test_float_shim_accumulates_exactly_on_the_microsecond_grid():
+    """0.1 is not a binary float; ten of them sum to 0.9999999999999999.
+    The shim rounds each delay onto the µs grid, so ten 0.1 s timeouts land
+    on exactly one second — accumulated error is zero, not ulps."""
+    env = Environment()
+
+    def ticker():
+        for _ in range(10):
+            yield env.timeout(0.1)
+
+    env.run(env.process(ticker()))
+    assert env.now_us == 1_000_000
+    assert env.now == 1.0
+
+
+def test_hours_long_accumulation_stays_exact():
+    """An odd per-tick µs count repeated for ~28 simulated hours: integer
+    time accumulates exactly; a float clock would have drifted off-grid."""
+    tick_us = 3_600_000_007  # one hour and seven microseconds
+    env = Environment()
+
+    def ticker():
+        for _ in range(28):
+            yield env.timeout_us(tick_us)
+
+    env.run(env.process(ticker()))
+    assert env.now_us == 28 * tick_us
+    assert env.now == (28 * tick_us) / 1e6
+
+
+def test_century_horizon_fits_the_grid():
+    """Very long horizons (100 simulated years ≈ 3.2e15 µs) stay well below
+    2^53, so both the integer clock and the float-seconds view stay exact."""
+    century_us = 100 * 365 * 24 * 3600 * 10**6
+    env = Environment()
+    fired = []
+    timeout = env.timeout_us(century_us, value="tick")
+    timeout.callbacks.append(lambda _ev: fired.append(env.now_us))
+    env.run()
+    assert fired == [century_us]
+    assert env.now_us == century_us
+    assert env.now == century_us / 1e6
 
 
 # ----------------------------------------------- sweep determinism extension

@@ -1,0 +1,41 @@
+"""Byte-compat pins for the cheap paper artifacts (fig1, table1-quick).
+
+The harness artifacts are deterministic text: same tree, same bytes.  The
+committed goldens pin that — any change to simulated timing, placement,
+RNG consumption, or table formatting shows up here as a readable diff
+instead of silently shifting a published number.  They run in the fast CI
+tier, so a result-changing commit cannot land without either fixing the
+regression or deliberately re-blessing the files (and bumping
+``CACHE_SCHEMA`` in :mod:`repro.harness.sweep`, which the blessing commit
+must justify).
+
+Goldens were last blessed for the integer-microsecond event core: service
+and wire times now round onto the µs grid, which moved every latency by
+sub-µs amounts (e.g. fig1's TSUE warm update is exactly 381 µs).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness import fig1, table1
+
+_GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _assert_matches(text: str, name: str) -> None:
+    want = (_GOLDEN / name).read_text()
+    assert text == want, (
+        f"{name} diverged from the committed golden; if the change is "
+        f"intended, re-bless tests/golden/{name} and bump CACHE_SCHEMA"
+    )
+
+
+def test_fig1_byte_compat():
+    text, _ = fig1.run()
+    _assert_matches(text, "fig1.txt")
+
+
+def test_table1_quick_byte_compat():
+    text, _ = table1.run(scale="quick")
+    _assert_matches(text, "table1_quick.txt")
