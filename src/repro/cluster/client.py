@@ -19,6 +19,7 @@ import numpy as np
 from repro.cluster.ids import BlockId
 from repro.common.errors import IntegrityError
 from repro.frontend import ops as _ops
+from repro.sim.batch import spawn_fanout
 from repro.storage.base import IOKind, IOPriority
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,13 +107,22 @@ class Client:
         yield self.env.timeout(ecfs.config.costs.gf_mul(k * bs, terms=m))
         parities = ecfs.rs.encode(blocks)
 
-        sends = []
-        for i, content in enumerate(blocks + parities):
-            bid = BlockId(file_id, stripe, i)
-            sends.append(
-                self.env.process(self._send_block(bid, content), name=f"w{bid}")
+        if ecfs.config.macro_batching:
+            yield spawn_fanout(
+                self.env,
+                [
+                    self._send_block(BlockId(file_id, stripe, i), content)
+                    for i, content in enumerate(blocks + parities)
+                ],
             )
-        yield self.env.all_of(sends)
+        else:
+            sends = []
+            for i, content in enumerate(blocks + parities):
+                bid = BlockId(file_id, stripe, i)
+                sends.append(
+                    self.env.process(self._send_block(bid, content), name=f"w{bid}")
+                )
+            yield self.env.all_of(sends)
         ecfs.mds.mark_written(file_id, stripe * k * bs, k * bs)
 
     def _send_block(self, bid: BlockId, content: np.ndarray) -> Generator:

@@ -66,6 +66,11 @@ class ClusterConfig:
     header_bytes: int = 200
     ack_bytes: int = 64
     costs: CPUCosts = field(default_factory=CPUCosts)
+    # macro-op fan-out batching (repro.sim.batch): steady-state k+m fan-outs
+    # run as one latch + flat event chains instead of one process per shard.
+    # The per-leg path is kept as the equivalence oracle — digests must be
+    # byte-identical either way (tests/test_macro_batching_equivalence.py).
+    macro_batching: bool = True
     seed: int = 2025
 
     def validate(self) -> None:

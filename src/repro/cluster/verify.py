@@ -80,10 +80,14 @@ class GroundTruth:
         if offset < 0 or offset + data.shape[0] > self.block_size:
             raise IntegrityError("oracle write outside block")
         target = self._blocks.get(block)
-        if target is None or not target.flags.writeable:
-            # CoW promotion on the first real write
-            target = self._zero.copy() if target is None else target.copy()
-            self._blocks[block] = target
+        if target is None or target is self._zero:
+            # CoW promotion on the first real write: calloc, not memcpy —
+            # the zero template's contents are free to rematerialize
+            target = self._blocks[block] = np.zeros(
+                self.block_size, dtype=np.uint8
+            )
+        elif not target.flags.writeable:
+            target = self._blocks[block] = target.copy()
         target[offset : offset + data.shape[0]] = data
         self.applied_updates += 1
 

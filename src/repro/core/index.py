@@ -33,11 +33,13 @@ class TwoLevelIndex:
         self._bitmaps: dict[Hashable, np.ndarray] = {}
 
     # ------------------------------------------------------------------ API
-    def insert(self, block: Hashable, offset: int, data: np.ndarray) -> None:
+    def insert(
+        self, block: Hashable, offset: int, data: np.ndarray, own: bool = False
+    ) -> None:
         emap = self._maps.get(block)
         if emap is None:
             emap = self._maps[block] = ExtentMap(self.policy)
-        emap.insert(offset, data)
+        emap.insert(offset, data, own=own)
         self._mark_bitmap(block, offset, len(data))
 
     def lookup(self, block: Hashable, offset: int, size: int) -> Optional[np.ndarray]:

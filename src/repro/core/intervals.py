@@ -65,8 +65,15 @@ class ExtentMap:
         self.bytes_absorbed = 0
 
     # ------------------------------------------------------------------ API
-    def insert(self, offset: int, data: np.ndarray) -> None:
-        """Insert a record; merges overlaps per policy and coalesces adjacency."""
+    def insert(self, offset: int, data: np.ndarray, own: bool = False) -> None:
+        """Insert a record; merges overlaps per policy and coalesces adjacency.
+
+        ``own=True`` transfers ownership of ``data`` to the map instead of
+        taking a defensive copy — for hot-path callers handing over a fresh
+        array nothing else will mutate (GF products, computed deltas).
+        Extents never mutate their payload in place (merge and coalesce
+        build new buffers), so an adopted array is only ever read.
+        """
         data = np.asarray(data, dtype=np.uint8)
         if data.ndim != 1 or data.shape[0] == 0:
             raise ValueError("record payload must be a non-empty 1-D array")
@@ -75,7 +82,7 @@ class ExtentMap:
         self.records_absorbed += 1
         self.bytes_absorbed += data.shape[0]
 
-        new = Extent(offset, data.copy())
+        new = Extent(offset, data if own else data.copy())
         lo, hi = self._overlap_range(new.start, new.end)
         if lo == hi:
             self._insert_at(lo, new)

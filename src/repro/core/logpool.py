@@ -77,9 +77,14 @@ class LogPool:
 
     # ------------------------------------------------------------------ API
     def append(
-        self, block: Hashable, offset: int, data: np.ndarray
+        self, block: Hashable, offset: int, data: np.ndarray, own: bool = False
     ) -> Generator:
-        """Process generator: append a record, waiting for space if needed."""
+        """Process generator: append a record, waiting for space if needed.
+
+        ``own=True`` hands the array over without the index's defensive copy
+        (see :meth:`ExtentMap.insert`); only pass it for arrays nothing else
+        will mutate.
+        """
         data = np.asarray(data, dtype=np.uint8)
         nbytes = int(data.shape[0])
         if nbytes > self.unit_size:
@@ -108,7 +113,7 @@ class LogPool:
                     raise UnavailableError(
                         f"log pool {self.name} died while an append waited"
                     )
-        self.active.append(block, offset, data, self.env.now)
+        self.active.append(block, offset, data, self.env.now, own=own)
         self.appends += 1
         self.append_bytes += nbytes
 

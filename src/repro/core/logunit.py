@@ -73,7 +73,12 @@ class LogUnit:
         return self.used + nbytes <= self.capacity
 
     def append(
-        self, block: Hashable, offset: int, data: np.ndarray, now: float
+        self,
+        block: Hashable,
+        offset: int,
+        data: np.ndarray,
+        now: float,
+        own: bool = False,
     ) -> None:
         """Append a record (caller must have checked :meth:`fits`)."""
         if self.state is not LogUnitState.EMPTY:
@@ -84,9 +89,9 @@ class LogUnit:
         if self.first_append_at is None:
             self.first_append_at = now
         if self.merge:
-            self.index.insert(block, offset, data)
+            self.index.insert(block, offset, data, own=own)
         else:
-            self.index.insert(RawKey(block, self._seq), offset, data)
+            self.index.insert(RawKey(block, self._seq), offset, data, own=own)
             self._seq += 1
         self.used += nbytes
 

@@ -84,6 +84,9 @@ class ScenarioSpec:
     background: Optional[BackgroundConfig] = None
     #: admission override for frontend runs (e.g. the AIMD adaptive mode)
     admission: Optional[Any] = None
+    #: macro-op fan-out batching (repro.sim.batch); False runs the per-leg
+    #: oracle path — digests must match either way
+    macro_batching: bool = True
     #: builds the fault schedule (specs are reusable: a fresh schedule per run)
     build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
         default=lambda spec: FaultSchedule()
@@ -103,6 +106,7 @@ class ScenarioSpec:
             osds_per_host=self.osds_per_host,
             hosts_per_rack=self.hosts_per_rack,
             background=self.background or BackgroundConfig(),
+            macro_batching=self.macro_batching,
             seed=seed,
         )
 

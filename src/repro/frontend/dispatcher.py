@@ -394,6 +394,7 @@ class FrontEnd:
             env.timeout_at(deadline_at) if deadline_at != float("inf") else None
         )
         last_exc: BaseException = ReproError("attempt spawned no legs")
+        cancelled: set = set()  # legs already cancel_chain'd (count once)
         try:
             while True:
                 race = [proc for proc, _h in legs if not proc.processed]
@@ -401,7 +402,13 @@ class FrontEnd:
                     race.append(hedge_timer)
                 if deadline_ev is not None:
                     race.append(deadline_ev)
-                yield env.any_of(race)
+                cond = env.any_of(race)
+                yield cond
+                # drop the consumed condition's callbacks from members that
+                # did not fire: legs re-raced next iteration would otherwise
+                # accumulate one stale callback per wake for as long as they
+                # live (and a straggler leg can outlive many wakes)
+                self._detach(cond, race)
                 for proc, is_hedge in legs:
                     if proc.processed:
                         ok, value = proc.value
@@ -414,7 +421,7 @@ class FrontEnd:
                 # (semantically — and the "err" path would try to retry past
                 # the deadline and land on STATUS_FAILED by a timestamp tie)
                 if deadline_ev is not None and deadline_ev.processed:
-                    self._abandon(request, legs)
+                    self._abandon(request, legs, cancelled)
                     return ("deadline", None, False, did_hedge)
                 if hedge_timer is not None and hedge_timer.processed:
                     hedge_timer = None
@@ -444,9 +451,29 @@ class FrontEnd:
             if deadline_ev is not None and not deadline_ev.processed:
                 deadline_ev.cancel()
 
-    def _abandon(self, request: Request, legs: list[tuple]) -> None:
+    @staticmethod
+    def _detach(cond, members) -> None:
+        """Remove a consumed any_of's callback from its still-pending
+        members (fired members already popped theirs)."""
+        check = cond._check
+        for ev in members:
+            if not ev.processed:
+                try:
+                    ev.callbacks.remove(check)
+                except ValueError:
+                    pass
+
+    def _abandon(
+        self, request: Request, legs: list[tuple], cancelled: Optional[set] = None
+    ) -> None:
         """Deadline expiry: cancel still-running read legs outright; demote
-        whatever must run to completion out of the FOREGROUND lane."""
+        whatever must run to completion out of the FOREGROUND lane.
+
+        ``cancelled`` carries the attempt's already-cancelled legs: a leg
+        raced past its first abandonment (it stays ``is_alive`` until the
+        interrupt drains, so a same-tick re-entry would see it "running")
+        is neither re-cancelled nor re-counted.
+        """
         env = self.ecfs.env
         active = env.active_process  # the request's handler process
         lane = active.lane if active is not None else None
@@ -456,9 +483,13 @@ class FrontEnd:
         if request.op != "read":
             return
         for proc, _is_hedge in legs:
+            if cancelled is not None and proc in cancelled:
+                continue
             if proc.is_alive:
                 proc.cancel_chain("deadline abandoned")
                 self.counters["cancelled_legs"] += 1
+                if cancelled is not None:
+                    cancelled.add(proc)
 
     def _attempt(self, request: Request, client) -> Generator:
         """The primary leg: one pass through the shared dispatch ops."""

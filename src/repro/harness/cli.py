@@ -74,6 +74,8 @@ def _run_sweep(args) -> int:
     )
     from repro.metrics.tables import format_markdown, format_table
 
+    if args.ops is None:
+        args.ops = 1200
     executor = SweepExecutor(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -261,6 +263,41 @@ def _run_background(args) -> int:
     return 0
 
 
+def _run_profile(args) -> int:
+    """cProfile the tracked engine workload (the 1500-op TSUE experiment of
+    BENCH_engine.json) and print the top-N cumulative-time table."""
+    # imported lazily so plain experiment runs stay light
+    import cProfile
+    import io
+    import pstats
+
+    from repro.harness.runner import ExperimentConfig, run_experiment
+
+    method = args.methods.split(",")[0]
+    cfg = ExperimentConfig(
+        method=method,
+        n_ops=args.ops if args.ops is not None else 1500,
+        macro_batching=not args.legacy_fanout,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_experiment(cfg)
+    profiler.disable()
+    perf = result.perf
+    print(
+        f"profiled {method} run: {cfg.n_ops} ops, {perf['events']:.0f} events "
+        f"in {perf['wall_seconds']:.3f}s wall "
+        f"({perf['events_per_sec']:.0f} ev/s, "
+        f"{perf['sim_ops_per_sec']:.0f} sim-ops/s, "
+        f"macro_batching={'off' if args.legacy_fanout else 'on'})\n"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue())
+    return 0
+
+
 def _run_topology(args) -> int:
     """Static policy x event movement matrix, or a live elastic scenario."""
     # imported lazily so plain experiment runs stay light
@@ -354,14 +391,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "background", "list", "scenario", "slo", "sweep", "topology"],
+        + [
+            "all",
+            "background",
+            "list",
+            "profile",
+            "scenario",
+            "slo",
+            "sweep",
+            "topology",
+        ],
         help="artifact to regenerate ('all' runs everything, 'list' "
         "enumerates, 'scenario' runs the fault-injection harness, 'slo' "
         "runs the QoS x fault front-end grid with per-tenant SLO metrics, "
         "'background' runs the bg-* maintenance-plane grid with per-stream "
         "bandwidth/drain read-outs and the governor on/off contrast, "
         "'sweep' runs a parallel scenario/experiment grid, 'topology' "
-        "analyzes placement policies under elastic topology events)",
+        "analyzes placement policies under elastic topology events, "
+        "'profile' cProfiles the tracked engine workload and prints the "
+        "top-N cumulative table)",
     )
     parser.add_argument(
         "name",
@@ -403,7 +451,13 @@ def main(argv: list[str] | None = None) -> int:
         "--seeds", default="2025", help="comma-separated simulation seeds"
     )
     sweep.add_argument("--clients", type=int, default=16)
-    sweep.add_argument("--ops", type=int, default=1200)
+    sweep.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="ops per cell (default 1200; 'profile' defaults to the tracked "
+        "1500-op engine workload)",
+    )
     sweep.add_argument(
         "--workers",
         type=int,
@@ -436,6 +490,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="with 'slo': time-series bucket width in simulated seconds "
         "(default: each scenario's slo_window)",
+    )
+    prof = parser.add_argument_group("profile options")
+    prof.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="with 'profile': rows of the pstats table to print",
+    )
+    prof.add_argument(
+        "--sort",
+        default="cumulative",
+        help="with 'profile': pstats sort key (cumulative, tottime, calls...)",
+    )
+    prof.add_argument(
+        "--legacy-fanout",
+        action="store_true",
+        help="with 'profile': run the per-leg oracle path instead of "
+        "macro-op batching (contrast profiles)",
     )
     topo = parser.add_argument_group("topology options")
     topo.add_argument(
@@ -477,6 +549,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.experiment == "topology":
         return _run_topology(args)
+    if args.experiment == "profile":
+        return _run_profile(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

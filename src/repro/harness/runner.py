@@ -80,6 +80,9 @@ class ExperimentConfig:
     #: drain logs after replay (Table 1 accounting); recovery experiments
     #: set False — the paper fails the node with logs outstanding
     drain: bool = True
+    #: macro-op fan-out batching (the legacy per-leg path is the
+    #: equivalence oracle — same digests either way)
+    macro_batching: bool = True
     method_options: dict[str, Any] = field(default_factory=dict)
 
     def cluster_config(self) -> ClusterConfig:
@@ -92,6 +95,7 @@ class ExperimentConfig:
             log_unit_size=self.log_unit_size,
             log_max_units=self.log_max_units,
             log_pools=self.log_pools,
+            macro_batching=self.macro_batching,
             seed=self.seed,
         )
 
@@ -172,6 +176,10 @@ def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResu
             "sim_seconds": ecfs.env.now,
             "events": float(events),
             "events_per_sec": events / wall if wall > 0 else 0.0,
+            # simulated ops per host second: the metric that stays honest
+            # when an optimization REMOVES events (events/sec rewards doing
+            # the same work with more scaffolding; ops/sec does not)
+            "sim_ops_per_sec": cfg.n_ops / wall if wall > 0 else 0.0,
         },
     )
     if hasattr(ecfs.method, "stall_stats"):

@@ -25,6 +25,8 @@ from repro.sim.core import (
     PHASE_URGENT,
     AllOf,
     AnyOf,
+    Chain,
+    CountdownLatch,
     Environment,
     Event,
     Interrupt,
@@ -32,12 +34,16 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Timeout,
+    failed_chain,
+    spawn_fanout,
 )
 from repro.sim.resources import PriorityResource, Resource, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Chain",
+    "CountdownLatch",
     "Environment",
     "Event",
     "Interrupt",
@@ -51,4 +57,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "failed_chain",
+    "spawn_fanout",
 ]

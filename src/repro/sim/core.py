@@ -810,3 +810,18 @@ class Environment:
         if deadline is not None:
             self._now = deadline
         return None
+
+
+# Macro-op batching primitives live in repro.sim.batch; exposed here so the
+# latch is importable next to AllOf/AnyOf as part of the engine surface.
+# Resolved lazily (PEP 562) — batch imports from this module, so an eager
+# import here would be circular when batch is imported first.
+_BATCH_EXPORTS = frozenset({"Chain", "CountdownLatch", "failed_chain", "spawn_fanout"})
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from repro.sim import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator, Optional, Sequence
 
-from repro.sim import Environment, PriorityResource
+from repro.sim import Chain, CountdownLatch, Environment, PriorityResource
+from repro.sim.core import _PROCESSED, Event
 
 __all__ = ["IOKind", "IOPriority", "IORequest", "DeviceCounters", "StorageDevice"]
 
@@ -86,6 +87,71 @@ class DeviceCounters:
         return self.reads + self.writes
 
 
+class _BatchLegDone:
+    """Completion callback for one leg of a :meth:`StorageDevice.submit_many`
+    fast-path batch: frees the leg's channel slot (one occurrence of the
+    shared multi-grant) and counts down the latch."""
+
+    __slots__ = ("resource", "grant", "latch")
+
+    def __init__(self, resource: PriorityResource, grant, latch: CountdownLatch) -> None:
+        self.resource = resource
+        self.grant = grant
+        self.latch = latch
+
+    def __call__(self, _ev: Event) -> None:
+        self.resource.release(self.grant)
+        self.latch.leg_done()
+
+
+class _SubmitChain:
+    """One in-flight :meth:`StorageDevice.submit_chain`: a slotted state
+    machine reused as the callback of every segment event (grant → stall →
+    service hold → release + inline finish), so a chained I/O allocates two
+    objects instead of a closure per stage."""
+
+    __slots__ = ("device", "chain", "req", "grant", "stage")
+
+    def __init__(self, device: "StorageDevice", chain: Chain, req: IORequest) -> None:
+        self.device = device
+        self.chain = chain
+        self.req = req
+        self.stage = 0
+        grant = self.grant = device.resource.request(priority=req.priority)
+        if grant._state >= _PROCESSED:
+            self(grant)
+        else:
+            grant.callbacks.append(self)
+
+    def __call__(self, ev: Event) -> None:
+        stage = self.stage
+        device = self.device
+        env = device.env
+        if stage == 0:  # granted: stall if the device is stuck
+            self.stage = 1
+            now_us = env.now_us
+            if now_us < device._stuck_until_us:
+                delay_us = device._stuck_until_us - now_us
+                device.fault_delay_time += delay_us / 1e6
+                stall = env.timeout_us(delay_us)
+                stall.callbacks.append(self)
+                return
+            self(ev)
+        elif stage == 1:  # start service
+            self.stage = 2
+            req = self.req
+            sequential = device._classify(req)
+            service_us = device._service_time_us(req, sequential)
+            if device.slow_factor != 1.0:
+                service_us = round(service_us * device.slow_factor)
+            device._account(req, sequential, service_us / 1e6)
+            hold = env.timeout_us(service_us)
+            hold.callbacks.append(self)
+        else:  # service done: free the channel, finish inline
+            device.resource.release(self.grant)
+            self.chain.finish()
+
+
 class StorageDevice:
     """Base class: queued service of IORequests on the DES.
 
@@ -129,6 +195,54 @@ class StorageDevice:
                 service_us = round(service_us * self.slow_factor)
             self._account(req, sequential, service_us / 1e6)
             yield env.timeout_us(service_us)
+
+    def submit_chain(self, req: IORequest) -> Chain:
+        """:meth:`submit` as a flat event chain (macro-op batching): same
+        grant → stall → classify → account → service sequence and the same
+        release-at-completion ordering, with plain callbacks instead of a
+        generator frame per resume."""
+        chain = Chain(self.env)
+        _SubmitChain(self, chain, req)
+        return chain
+
+    def submit_many(self, reqs: Sequence[IORequest]) -> CountdownLatch:
+        """Batched fan-out of I/Os on this device: one latch + one grant
+        object instead of a process/request/``AllOf`` member per leg.
+
+        The uncontended fast path takes every channel slot with a single
+        ``acquire_many`` grant and computes the per-leg service times in one
+        vectorized pass; each leg still completes (and frees its slot) at
+        its own service time, so a competing request arriving mid-batch
+        sees exactly the channel availability the per-leg path would give
+        it.  Contended or stuck devices fall back to per-leg chains, whose
+        queueing order is byte-identical to legacy ``submit``."""
+        env = self.env
+        latch = CountdownLatch(env, len(reqs))
+        if not reqs:
+            latch.succeed()
+            return latch
+        resource = self.resource
+        multi = None
+        if env.now_us >= self._stuck_until_us:
+            multi = resource.acquire_many(len(reqs))
+        if multi is None:
+            for req in reqs:
+                chain = self.submit_chain(req)
+                if chain._state >= _PROCESSED:
+                    latch.leg_done()
+                else:
+                    latch.count_event(chain)
+            return latch
+        seqs = [self._classify(req) for req in reqs]
+        services = self._service_times_us(reqs, seqs)
+        slow = self.slow_factor
+        for req, sequential, service_us in zip(reqs, seqs, services):
+            if slow != 1.0:
+                service_us = round(service_us * slow)
+            self._account(req, sequential, service_us / 1e6)
+            hold = env.timeout_us(service_us)
+            hold.callbacks.append(_BatchLegDone(resource, multi, latch))
+        return latch
 
     # --------------------------------------------------------- fault control
     def set_slowdown(self, factor: float) -> None:
@@ -178,6 +292,14 @@ class StorageDevice:
         default quantizes :meth:`_service_time`; hot device models override
         it with precomputed native-µs constants."""
         return round(self._service_time(req, sequential) * 1e6)
+
+    def _service_times_us(
+        self, reqs: Sequence[IORequest], seqs: Sequence[bool]
+    ) -> list[int]:
+        """Per-leg service times for a :meth:`submit_many` batch.  Hot
+        device models override with one numpy pass over the precomputed µs
+        rates; results must match :meth:`_service_time_us` leg-for-leg."""
+        return [self._service_time_us(r, s) for r, s in zip(reqs, seqs)]
 
     def _account(self, req: IORequest, sequential: bool, service: float) -> None:
         c = self.counters

@@ -112,7 +112,10 @@ class BlockStore:
         """Copy-on-write promotion: hand back a privately owned, writable
         array for ``block_id``, materializing it if missing."""
         block = self._blocks.get(block_id)
-        if block is None:
+        if block is None or block is self._zero:
+            # Zero-template promotion: a calloc'd array (lazily page-zeroed
+            # by the OS) beats memcpy'ing 256 KiB of zeros — this is the
+            # hottest copy in the update path per the profile.
             block = self._blocks[block_id] = np.zeros(
                 self.block_size, dtype=np.uint8
             )

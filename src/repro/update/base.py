@@ -41,6 +41,9 @@ class UpdateMethod:
 
     def __init__(self, ecfs: "ECFS") -> None:
         self.ecfs = ecfs
+        # macro-op batching: steady-state fan-outs use latch + event chains;
+        # False keeps the per-leg process path (the equivalence oracle)
+        self.batched = bool(getattr(ecfs.config, "macro_batching", True))
         # stripes whose popped log content is mid-application (the entries
         # left the visible log but their parity work has not finished):
         # counted so overlapping recycles nest correctly; the last release
@@ -384,6 +387,12 @@ class UpdateMethod:
     def forward(self, src: OSD, dst: OSD, nbytes: int) -> Generator:
         """One-way OSD-to-OSD transfer (payload + header)."""
         yield from self.ecfs.net.transfer(
+            src.name, dst.name, nbytes + self.ecfs.config.header_bytes
+        )
+
+    def forward_c(self, src: OSD, dst: OSD, nbytes: int):
+        """:meth:`forward` as a flat event chain (macro-op batching)."""
+        return self.ecfs.net.transfer_chain(
             src.name, dst.name, nbytes + self.ecfs.config.header_bytes
         )
 

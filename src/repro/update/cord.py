@@ -95,7 +95,7 @@ class CoRD(UpdateMethod):
             (op.block.file_id, op.block.stripe), {}
         )
         emap = per_idx.setdefault(op.block.idx, ExtentMap(MergePolicy.XOR))
-        emap.insert(op.offset, delta)
+        emap.insert(op.offset, delta, own=True)
         self._buffer_used[name] += op.size
 
     # -------------------------------------------------------------- recycle
@@ -151,7 +151,7 @@ class CoRD(UpdateMethod):
                     coef = self.parity_coef(j, didx)
                     for ext in emap.extents():
                         yield self.env.timeout(self.costs.gf_mul(ext.size))
-                        merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
+                        merged.insert(ext.start, gf_mul_scalar(coef, ext.data), own=True)
                 for ext in merged.extents():
                     try:
                         yield from self.forward(collector, posd, ext.size)

@@ -26,6 +26,7 @@ from repro.cluster.osd import OSD
 from repro.core.intervals import ExtentMap, MergePolicy
 from repro.ec.incremental import parity_delta
 from repro.sim import Resource
+from repro.sim.batch import spawn_fanout
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
 
@@ -55,11 +56,20 @@ class FullLogging(UpdateMethod):
             yield lock
             yield from osd.io_log_append("fulllog", op.size, tag="fl-append")
             emap = self._datalog.setdefault(op.block, ExtentMap(MergePolicy.OVERWRITE))
-            emap.insert(op.offset, op.payload)
+            emap.insert(op.offset, op.payload, own=True)
             self._log_bytes[osd.name] += op.size
             self._raw_entries[osd.name] += 1
             self.ecfs.oracle.apply(op.block, op.offset, op.payload)
         # replicate the record to every parity OSD's log (fault tolerance)
+        if self.batched:
+            sends = [
+                self._mirror(osd, posd, op)
+                for _j, posd, _pbid in self.parity_targets(op.block)
+                if not posd.failed
+            ]
+            if sends:
+                yield spawn_fanout(self.env, sends)
+            return
         sends = [
             self.env.process(self._mirror(osd, posd, op), name=f"fl-p{j}")
             for j, posd, _pbid in self.parity_targets(op.block)

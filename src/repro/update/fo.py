@@ -14,6 +14,7 @@ from repro.cluster.client import UpdateOp
 from repro.cluster.osd import OSD
 from repro.common.errors import IntegrityError
 from repro.ec.incremental import parity_delta
+from repro.sim.batch import spawn_fanout
 from repro.update.base import UpdateMethod
 
 __all__ = ["FullOverwrite"]
@@ -27,6 +28,15 @@ class FullOverwrite(UpdateMethod):
         delta = yield from self.data_rmw(osd, op)
         # 2. for every parity block: compute the parity delta at the data
         #    node (GF multiply), ship it, and RMW the parity block in place.
+        if self.batched:
+            yield spawn_fanout(
+                self.env,
+                [
+                    self._update_parity(osd, posd, pbid, op, delta, j)
+                    for j, posd, pbid in self.parity_targets(op.block)
+                ],
+            )
+            return
         jobs = []
         for j, posd, pbid in self.parity_targets(op.block):
             jobs.append(

@@ -29,6 +29,7 @@ from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
 from repro.core.intervals import ExtentMap, MergePolicy
 from repro.ec.incremental import parity_delta
+from repro.sim.batch import spawn_fanout
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
 
@@ -135,6 +136,25 @@ class PARIX(UpdateMethod):
         # D0.  When it does not, it NACKs and the old data follows — the
         # serial "2x network latency" penalty of Fig. 1.
         live_targets = [(j, posd) for j, posd, _pbid in targets if not posd.failed]
+        if self.batched:
+            yield spawn_fanout(
+                self.env, [self._ship(osd, posd, op.size) for _j, posd in live_targets]
+            )
+            if live is not None:
+                # NACK comes back before the data node can ship the old bytes
+                # (callable legs: each becomes one wire chain, no driver)
+                yield spawn_fanout(
+                    self.env,
+                    [
+                        (lambda p=posd: self.forward_c(p, osd, 0))
+                        for _j, posd in live_targets
+                    ],
+                )
+                yield spawn_fanout(
+                    self.env,
+                    [self._ship(osd, posd, op.size) for _j, posd in live_targets],
+                )
+            return
         sends = [
             self.env.process(self._ship(osd, posd, op.size), name=f"parix-new-p{j}")
             for j, posd in live_targets
@@ -182,7 +202,7 @@ class PARIX(UpdateMethod):
         emap = self._seen.get(block)
         if emap is None:
             emap = self._seen[block] = ExtentMap(MergePolicy.OVERWRITE)
-        emap.insert(offset, np.zeros(size, dtype=np.uint8))
+        emap.insert(offset, np.zeros(size, dtype=np.uint8), own=True)
 
     # ------------------------------------------------------------- recycle
     def flush(self) -> Generator:

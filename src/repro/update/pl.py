@@ -25,6 +25,7 @@ from repro.cluster.ids import BlockId
 from repro.cluster.osd import OSD
 from repro.common.errors import IntegrityError
 from repro.ec.incremental import parity_delta
+from repro.sim.batch import spawn_fanout
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
 
@@ -77,6 +78,15 @@ class ParityLogging(UpdateMethod):
 
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         delta = yield from self.data_rmw(osd, op)
+        if self.batched:
+            yield spawn_fanout(
+                self.env,
+                [
+                    self._log_parity(osd, posd, pbid, op, delta, j)
+                    for j, posd, pbid in self.parity_targets(op.block)
+                ],
+            )
+            return
         jobs = []
         for j, posd, pbid in self.parity_targets(op.block):
             jobs.append(

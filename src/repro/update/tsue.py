@@ -40,6 +40,7 @@ from repro.core.logpool import LogPool
 from repro.core.logunit import LogUnit, LogUnitState, RawKey
 from repro.core.recycler import RecyclePlanner, unit_recycle_op
 from repro.gf.field import gf_mul_scalar
+from repro.sim.batch import spawn_fanout
 from repro.storage.base import IOKind, IOPriority
 from repro.update.base import UpdateMethod
 
@@ -219,23 +220,29 @@ class TSUE(UpdateMethod):
         t0 = self.env.now
         pool = self._pool(osd, "datalog", op.block)
         # in-memory append (may stall on the unit quota — Fig. 6a)
-        yield from pool.append(op.block, op.offset, op.payload)
+        yield from pool.append(op.block, op.offset, op.payload, own=True)
         # the log IS the serialization point: commit to the oracle in append
         # order, before any interleaving-prone I/O below.
         self.ecfs.oracle.apply(op.block, op.offset, op.payload)
         # persist locally and replicate, concurrently; ack when all durable
-        jobs = [
-            self.env.process(
-                self._persist_local(osd, pool, op), name=f"tsue-persist{op.op_id}"
-            )
-        ]
-        for r in range(self.opts.datalog_replicas):
-            jobs.append(
+        if self.batched:
+            legs = [self._persist_local(osd, pool, op)]
+            for r in range(self.opts.datalog_replicas):
+                legs.append(self._replicate(osd, op, r))
+            yield spawn_fanout(self.env, legs)
+        else:
+            jobs = [
                 self.env.process(
-                    self._replicate(osd, op, r), name=f"tsue-rep{op.op_id}.{r}"
+                    self._persist_local(osd, pool, op), name=f"tsue-persist{op.op_id}"
                 )
-            )
-        yield self.env.all_of(jobs)
+            ]
+            for r in range(self.opts.datalog_replicas):
+                jobs.append(
+                    self.env.process(
+                        self._replicate(osd, op, r), name=f"tsue-rep{op.op_id}.{r}"
+                    )
+                )
+            yield self.env.all_of(jobs)
         self.append_times["datalog"].append(self.env.now - t0)
 
     def _persist_local(self, osd: OSD, pool: LogPool, op: UpdateOp) -> Generator:
@@ -309,6 +316,13 @@ class TSUE(UpdateMethod):
     ) -> Generator:
         items = self.planner.plan(unit)
         lanes = list(self.planner.lanes(items))
+        if self.batched:
+            if lanes:
+                yield spawn_fanout(
+                    self.env,
+                    [self._datalog_lane(osd, pool, unit, lane) for lane in lanes],
+                )
+            return
         procs = [
             self.env.process(
                 self._datalog_lane(osd, pool, unit, lane),
@@ -426,8 +440,8 @@ class TSUE(UpdateMethod):
         try:
             yield from self.forward(osd, p1, wire_size)
             # device append first, then the in-memory index: a crash in
-            # between leaves nothing behind, so the caller's fallback cannot
-            # double-apply
+            # between leaves nothing behind, so the caller's fallback
+            # cannot double-apply
             yield from p1.io_log_append(
                 f"deltalog{self._pool_idx(block)}",
                 size,
@@ -435,7 +449,7 @@ class TSUE(UpdateMethod):
                 tag="tsue-deltalog",
             )
             dpool = self._pool(p1, "deltalog", block)
-            yield from dpool.append(block, offset, delta)
+            yield from dpool.append(block, offset, delta, own=True)
         except IntegrityError:
             if token is not None:
                 self._seen_tokens[p1.name].discard(token)  # nothing committed
@@ -478,7 +492,7 @@ class TSUE(UpdateMethod):
                     for block, work in works:
                         coef = self.parity_coef(j, block.idx)
                         for ext in work.extents:
-                            merged.insert(ext.start, gf_mul_scalar(coef, ext.data))
+                            merged.insert(ext.start, gf_mul_scalar(coef, ext.data), own=True)
                     exts = list(merged.extents())
                 else:
                     exts = []
@@ -548,7 +562,7 @@ class TSUE(UpdateMethod):
                     IOPriority.BACKGROUND,
                     tag="tsue-paritylog",
                 )
-                yield from ppool.append(pbid, offset, pdelta)
+                yield from ppool.append(pbid, offset, pdelta, own=True)
                 self.append_times["paritylog"].append(self.env.now - t0)
                 return
             except IntegrityError:
@@ -566,6 +580,13 @@ class TSUE(UpdateMethod):
     ) -> Generator:
         items = self.planner.plan(unit)
         lanes = list(self.planner.lanes(items))
+        if self.batched:
+            if lanes:
+                yield spawn_fanout(
+                    self.env,
+                    [self._paritylog_lane(osd, unit, lane) for lane in lanes],
+                )
+            return
         procs = [
             self.env.process(
                 self._paritylog_lane(osd, unit, lane),

@@ -1,0 +1,168 @@
+"""Macro-op batching equivalence tier: batched == per-leg oracle, always.
+
+The batching layer (:mod:`repro.sim.batch`) replaces the per-shard
+process-per-leg fan-out idiom with one latch + flat event chains.  Its
+correctness contract is *strict timing equivalence*: with
+``macro_batching`` on or off, every simulation in this tree must produce
+byte-identical canonical digests — same sim clock, same op counts, same
+latency sums, same device counters, same network totals, same block bytes.
+The per-leg path stays in the tree as the equivalence oracle; these tests
+pin the two paths together so they can never drift.
+
+What batching *is* allowed to change is the heap-event count (that is the
+point: fewer scaffolding events for the same simulated work), so event
+counts are asserted per-mode stable, not cross-mode equal — and the
+batched count must never exceed the legacy count.
+
+Covered here:
+
+* all seven update methods, batched vs legacy digests + double-run
+  stability (fast tier);
+* a fault-scenario sample across the topo-*/bg-*/slo-* families, where
+  fan-outs interleave with crashes, rebalance, and QoS scheduling;
+* PYTHONHASHSEED-varied subprocesses: batched-mode digests must not
+  lean on dict/set iteration order any more than legacy ones do;
+* the dispatcher deadline-abandon accounting fix that batching work
+  surfaced: a straggler read leg that outlives several deadline wakes
+  must be cancelled (and counted) exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fault.digest import cluster_digest
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import get_scenario
+from repro.harness.runner import ExperimentConfig, run_experiment
+
+METHODS = ["fo", "fl", "pl", "plr", "parix", "tsue", "cord"]
+
+#: one scenario per family: elastic topology (rebalance fan-outs under a
+#: mid-migration crash), background maintenance (scrub vs foreground), and
+#: the QoS front end (hedged reads + deadline abandonment over batched legs)
+SCENARIO_SAMPLE = ["topo-join-crush", "bg-scrub-under-load", "slo-qos-crash"]
+
+
+def _cfg(method: str, batched: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        method=method,
+        trace="tencloud",
+        k=4,
+        m=2,
+        n_osds=10,
+        n_clients=4,
+        n_ops=150,
+        block_size=1 << 16,
+        log_unit_size=1 << 17,
+        n_files=2,
+        stripes_per_file=2,
+        seed=4242,
+        verify=True,
+        macro_batching=batched,
+    )
+
+
+def _run(method: str, batched: bool):
+    result = run_experiment(_cfg(method, batched), keep_cluster=True)
+    return cluster_digest(result.ecfs), result.perf["events"]
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_batched_matches_legacy_digest(method):
+    """The core contract: batched and per-leg runs are byte-identical in
+    every digested observable, and each mode reproduces itself exactly."""
+    batched_digest, batched_events = _run(method, True)
+    legacy_digest, legacy_events = _run(method, False)
+    assert batched_digest == legacy_digest, (
+        f"{method}: macro-batched digest diverged from the per-leg oracle"
+    )
+    # double-run: per-mode event counts are deterministic
+    assert _run(method, True) == (batched_digest, batched_events)
+    assert _run(method, False) == (legacy_digest, legacy_events)
+    # batching may only ever REMOVE scaffolding events
+    assert batched_events <= legacy_events, (
+        f"{method}: batched run scheduled more events "
+        f"({batched_events:.0f}) than legacy ({legacy_events:.0f})"
+    )
+
+
+@pytest.mark.parametrize("name", SCENARIO_SAMPLE)
+def test_scenario_batched_matches_legacy(name):
+    """Fault scenarios — crashes, rebalance, QoS deadlines landing between
+    fan-out legs — agree between the batched and per-leg paths."""
+
+    def run(batched: bool):
+        spec = dataclasses.replace(get_scenario(name), macro_batching=batched)
+        result = ScenarioRunner(spec).run(seed=7)
+        return (
+            result.digest,
+            result.sim_time,
+            result.ops,
+            result.failures,
+            result.slo,
+            result.background,
+        )
+
+    batched, legacy = run(True), run(False)
+    assert batched[0] == legacy[0], f"{name}: digest diverged"
+    assert batched[1:] == legacy[1:], f"{name}: scenario read-outs diverged"
+
+
+_HASHSEED_SNIPPET = """
+import dataclasses
+from repro.fault.digest import cluster_digest
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import get_scenario
+from repro.harness.runner import ExperimentConfig, run_experiment
+for batched in (True, False):
+    cfg = ExperimentConfig(
+        method="tsue", trace="tencloud", k=4, m=2, n_osds=10, n_clients=4,
+        n_ops=150, block_size=1 << 16, log_unit_size=1 << 17, n_files=2,
+        stripes_per_file=2, seed=4242, verify=True, macro_batching=batched,
+    )
+    print(batched, cluster_digest(run_experiment(cfg, keep_cluster=True).ecfs))
+spec = dataclasses.replace(get_scenario("slo-qos-crash"), macro_batching=True)
+print(ScenarioRunner(spec).run(seed=7).digest)
+"""
+
+
+def test_batched_digest_stable_across_hashseeds():
+    """Batched-mode digests must not depend on PYTHONHASHSEED: two fresh
+    interpreters with different hash seeds agree byte-for-byte (the latch /
+    chain machinery keeps no set- or dict-ordered state on timing paths)."""
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+    def run(hashseed: str) -> str:
+        env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED=hashseed)
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout
+
+    assert run("1") == run("424242")
+
+
+def test_deadline_abandon_counts_each_leg_once():
+    """Regression: a read leg that stays alive across several deadline
+    wake-ups (its cancel interrupt takes a queue hop to drain) used to be
+    re-cancelled and re-counted on every wake.  The abandon path now
+    remembers already-cancelled legs, so ``cancelled_legs`` counts each leg
+    at most once per attempt — bounded by the legs the attempt spawned."""
+    spec = get_scenario("slo-qos-crash")
+    result = ScenarioRunner(spec).run(seed=7)
+    stats = result.frontend_stats
+    deadline_exp = stats.get("deadline_expired", 0)
+    # each expired deadline abandons one attempt: at most primary + hedge
+    # legs are cancelled per attempt, never more (the double-count bug
+    # inflated this linearly with straggler lifetime)
+    assert stats.get("cancelled_legs", 0) <= 2 * deadline_exp, stats
