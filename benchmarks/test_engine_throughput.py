@@ -81,6 +81,19 @@ def _calibrate() -> float:
     return time.perf_counter() - t0
 
 
+def _host_factor() -> tuple[float, float]:
+    """``(host_factor, calibration_seconds)``, median of three samples.
+
+    A single ~0.2s calibration sample can catch a frequency boost or a
+    scheduler preemption and swing the host-speed estimate by ±25% —
+    enough to push a genuine 2.2x engine speedup under the 2.0x bar (or
+    mask a real regression behind a slow sample).  The median of three is
+    robust to one bad sample in either direction."""
+    samples = sorted(_calibrate() for _ in range(3))
+    cal = samples[1]
+    return (CALIBRATION_SECONDS / cal if cal > 0 else 1.0), cal
+
+
 #: per-bench-kind history cap: the earliest entry of each kind (the seed
 #: baseline of that trajectory) plus the most recent ones are kept; the
 #: middle is dropped so the file stays reviewable instead of growing one
@@ -125,23 +138,22 @@ def _sweep_cells() -> list[ExperimentConfig]:
 def test_engine_throughput(once):
     """>= 2x events/sec on the profiled 1500-op TSUE experiment.
 
-    Best-of-3: the workload is deterministic (same event count every run),
+    Best-of-5: the workload is deterministic (same event count every run),
     so run-to-run wall-clock spread is pure host noise — scheduler
     preemption, cache state, CI-runner neighbors.  The fastest run is the
-    closest observation of the engine's actual cost; all three land in the
+    closest observation of the engine's actual cost; all five land in the
     ``runs`` field of the trajectory entry so the spread stays visible.
     """
     cfg = ExperimentConfig(method="tsue", n_ops=1500)
     results = [once(lambda: run_experiment(cfg))]
-    results += [run_experiment(cfg) for _ in range(2)]
+    results += [run_experiment(cfg) for _ in range(4)]
     runs = [r.perf for r in results]
     perf = max(runs, key=lambda p: p["events_per_sec"])
     # the event count is deterministic: any spread would mean the engine
     # itself went nondeterministic, which no amount of host noise excuses
     assert len({p["events"] for p in runs}) == 1, runs
     # scale the recorded reference-container baseline to this host's speed
-    cal = _calibrate()
-    host_factor = CALIBRATION_SECONDS / cal if cal > 0 else 1.0
+    host_factor, cal = _host_factor()
     baseline_evps = SEED_BASELINE["events_per_sec"] * host_factor
     baseline_wall = SEED_BASELINE["wall_seconds"] / host_factor
     speedup_events = perf["events_per_sec"] / baseline_evps
@@ -152,6 +164,8 @@ def test_engine_throughput(once):
             "timestamp": time.time(),
             "n_ops": cfg.n_ops,
             "macro_batching": cfg.macro_batching,
+            "request_schedules": cfg.request_schedules,
+            "schedule_hit_rate": perf["schedule_hit_rate"],
             "events": perf["events"],
             "wall_seconds": perf["wall_seconds"],
             "sim_seconds": perf["sim_seconds"],
@@ -179,6 +193,54 @@ def test_engine_throughput(once):
     )
 
 
+def test_steady_state_write():
+    """Isolate the path this PR's table-driven schedules optimize: a pure
+    uncontended write loop (updates only, no reads, no faults, no drain),
+    best-of-3.  The tracked ``engine`` entry dilutes the fast path with
+    recycle/drain work; this entry is the undiluted steady-state number,
+    and its ``schedule_hit_rate`` must stay at 1.0 — any admission decline
+    on this workload means a probe went conservative on a fault-free
+    cluster."""
+    cfg = ExperimentConfig(
+        method="tsue",
+        trace="tencloud-writeonly",
+        n_ops=1200,
+        n_clients=16,
+        hot_files=2,
+        drain=False,
+    )
+    runs = [run_experiment(cfg).perf for _ in range(3)]
+    perf = max(runs, key=lambda p: p["sim_ops_per_sec"])
+    assert len({p["events"] for p in runs}) == 1, runs
+    host_factor, cal = _host_factor()
+    _append_bench(
+        {
+            "bench": "steady_state_write",
+            "timestamp": time.time(),
+            "n_ops": cfg.n_ops,
+            "macro_batching": cfg.macro_batching,
+            "request_schedules": cfg.request_schedules,
+            "schedule_hit_rate": perf["schedule_hit_rate"],
+            "events": perf["events"],
+            "wall_seconds": perf["wall_seconds"],
+            "events_per_sec": perf["events_per_sec"],
+            "sim_ops_per_sec": perf["sim_ops_per_sec"],
+            "runs": [
+                {
+                    "wall_seconds": p["wall_seconds"],
+                    "sim_ops_per_sec": p["sim_ops_per_sec"],
+                }
+                for p in runs
+            ],
+            "calibration_seconds": cal,
+            "host_factor": host_factor,
+        }
+    )
+    # every update dispatch on a fault-free steady-state run must take the
+    # compiled schedule (reads don't enter the update fast path)
+    assert perf["schedule_hit_rate"] == 1.0, perf
+
+
 def test_thousand_osd_smoke():
     """Thousand-OSD smoke: one modest-op experiment at the cluster scale
     the vectorized bulk ops and macro-op fan-out batching exist for.  No
@@ -197,7 +259,7 @@ def test_thousand_osd_smoke():
     runs = [run_experiment(cfg).perf for _ in range(2)]
     perf = max(runs, key=lambda p: p["events_per_sec"])
     assert len({p["events"] for p in runs}) == 1, runs
-    cal = _calibrate()
+    host_factor, cal = _host_factor()
     _append_bench(
         {
             "bench": "thousand_osd",
@@ -205,13 +267,15 @@ def test_thousand_osd_smoke():
             "n_osds": cfg.n_osds,
             "n_ops": cfg.n_ops,
             "macro_batching": cfg.macro_batching,
+            "request_schedules": cfg.request_schedules,
+            "schedule_hit_rate": perf["schedule_hit_rate"],
             "events": perf["events"],
             "wall_seconds": perf["wall_seconds"],
             "sim_seconds": perf["sim_seconds"],
             "events_per_sec": perf["events_per_sec"],
             "sim_ops_per_sec": perf["sim_ops_per_sec"],
             "calibration_seconds": cal,
-            "host_factor": CALIBRATION_SECONDS / cal if cal > 0 else 1.0,
+            "host_factor": host_factor,
         }
     )
     # sanity floor only: the simulation must actually have run at scale
@@ -240,19 +304,36 @@ def _timed_sweep(executor, cells):
 
 def test_sweep_executor_speedup(tmp_path):
     """4-cell sweep: warm cache >= 3x serial always; 4 workers >= 3x serial
-    on hosts that have the cores for it (recorded regardless)."""
+    on hosts that have the cores for it (recorded regardless).
+
+    Every wall is best-of-2: a single scheduler preemption inside one
+    ~1s measurement window otherwise flips the serial/parallel ratio on a
+    noisy host, and the fastest observation of each executor is the
+    closest to its actual cost (same doctrine as the engine bench)."""
     cells = _sweep_cells()
     cache_dir = tmp_path / "cache"
 
     wall_serial, serial = _timed_sweep(
         SweepExecutor(workers=1, cache_dir=str(cache_dir)), cells
     )
+    wall_serial2, _ = _timed_sweep(
+        SweepExecutor(workers=1, cache_dir=str(tmp_path / "cold2")), cells
+    )
+    wall_serial = min(wall_serial, wall_serial2)
     wall_cached, cached = _timed_sweep(
         SweepExecutor(workers=1, cache_dir=str(cache_dir)), cells
     )
+    wall_cached2, _ = _timed_sweep(
+        SweepExecutor(workers=1, cache_dir=str(cache_dir)), cells
+    )
+    wall_cached = min(wall_cached, wall_cached2)
     wall_parallel, parallel = _timed_sweep(
         SweepExecutor(workers=4, cache_dir=str(tmp_path / "c2")), cells
     )
+    wall_parallel2, _ = _timed_sweep(
+        SweepExecutor(workers=4, cache_dir=str(tmp_path / "c3")), cells
+    )
+    wall_parallel = min(wall_parallel, wall_parallel2)
 
     # parallel and cached sweeps reproduce the serial results exactly
     for s, c, p in zip(serial, cached, parallel):

@@ -71,6 +71,14 @@ class ClusterConfig:
     # The per-leg path is kept as the equivalence oracle — digests must be
     # byte-identical either way (tests/test_macro_batching_equivalence.py).
     macro_batching: bool = True
+    # table-driven steady-state write schedules (repro.sim.schedule): an
+    # uncontended write runs as one precompiled slot table instead of a
+    # 4-6 frame generator tower, bailing back to the generator path on any
+    # contention/fault/churn check.  Kept as a flag so the generator path
+    # remains the equivalence oracle (tests/test_request_schedules.py);
+    # inert unless macro_batching is also on (the slot tables fan out
+    # through the batched event structure).
+    request_schedules: bool = True
     seed: int = 2025
 
     def validate(self) -> None:

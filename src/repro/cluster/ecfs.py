@@ -93,6 +93,18 @@ class ECFS:
             self.method.attach(osd)
         self.method.start_background()
 
+        # table-driven steady-state write schedules (repro.sim.schedule):
+        # None when disabled, and inert without macro-op batching — the
+        # compiled slot tables fan out through the batched event structure,
+        # so the legacy generator path is the oracle for both flags at once
+        self.schedules = None
+        if getattr(self.config, "request_schedules", True) and getattr(
+            self.config, "macro_batching", True
+        ):
+            from repro.sim.schedule import ScheduleEngine
+
+            self.schedules = ScheduleEngine(self)
+
         self.clients: list[Client] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.known_blocks: set[BlockId] = set()

@@ -242,6 +242,7 @@ class OSD:
     def fail(self) -> None:
         """Take the node down; blocks remain lost until recovery rebuilds."""
         self.failed = True
+        self._note_churn()
 
     def restart(self) -> None:
         """Bring a transiently-down node back with its contents intact.
@@ -251,6 +252,18 @@ class OSD:
         MDS and the update method hear about it too.
         """
         self.failed = False
+        self._note_churn()
+
+    def _note_churn(self) -> None:
+        """Invalidate the schedule fast path's cached steadiness probe —
+        every fail/restart site in the tree funnels through :meth:`fail` /
+        :meth:`restart`, so the cache can only ever be stale in the
+        conservative direction."""
+        method = self.method
+        if method is not None:
+            engine = method.ecfs.schedules
+            if engine is not None:
+                engine.note_churn()
 
     def recover_to(self, replacement: "OSD") -> None:  # pragma: no cover - doc
         raise NotImplementedError("use repro.cluster.recovery.RecoveryManager")

@@ -134,7 +134,9 @@ class ExtentMap:
         several extents); None if any byte is missing."""
         if self.uncovered(offset, size):
             return None
-        out = np.zeros(size, dtype=np.uint8)
+        # full coverage is guaranteed above: every byte of `out` is
+        # assigned below, so the zero-fill would be pure waste
+        out = np.empty(size, dtype=np.uint8)
         lo, hi = self._overlap_range(offset, offset + size)
         for ext in self._extents[lo:hi]:
             s = max(ext.start, offset)

@@ -87,6 +87,9 @@ class ScenarioSpec:
     #: macro-op fan-out batching (repro.sim.batch); False runs the per-leg
     #: oracle path — digests must match either way
     macro_batching: bool = True
+    #: table-driven request schedules (repro.sim.schedule); False runs the
+    #: generator oracle path — digests must match either way
+    request_schedules: bool = True
     #: builds the fault schedule (specs are reusable: a fresh schedule per run)
     build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
         default=lambda spec: FaultSchedule()
@@ -107,6 +110,7 @@ class ScenarioSpec:
             hosts_per_rack=self.hosts_per_rack,
             background=self.background or BackgroundConfig(),
             macro_batching=self.macro_batching,
+            request_schedules=self.request_schedules,
             seed=seed,
         )
 

@@ -278,6 +278,7 @@ def _run_profile(args) -> int:
         method=method,
         n_ops=args.ops if args.ops is not None else 1500,
         macro_batching=not args.legacy_fanout,
+        request_schedules=not args.legacy_schedules,
     )
     profiler = cProfile.Profile()
     profiler.enable()
@@ -289,7 +290,9 @@ def _run_profile(args) -> int:
         f"in {perf['wall_seconds']:.3f}s wall "
         f"({perf['events_per_sec']:.0f} ev/s, "
         f"{perf['sim_ops_per_sec']:.0f} sim-ops/s, "
-        f"macro_batching={'off' if args.legacy_fanout else 'on'})\n"
+        f"macro_batching={'off' if args.legacy_fanout else 'on'}, "
+        f"request_schedules={'off' if args.legacy_schedules else 'on'}, "
+        f"schedule_hit_rate={perf['schedule_hit_rate']:.2f})\n"
     )
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
@@ -508,6 +511,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'profile': run the per-leg oracle path instead of "
         "macro-op batching (contrast profiles)",
+    )
+    prof.add_argument(
+        "--legacy-schedules",
+        action="store_true",
+        help="with 'profile': run the generator oracle path instead of "
+        "table-driven request schedules (contrast profiles)",
     )
     topo = parser.add_argument_group("topology options")
     topo.add_argument(

@@ -42,11 +42,20 @@ def current_scale() -> str:
 
 
 def resolve_trace(name: str) -> SyntheticTraceSpec:
-    """Trace spec by harness name: alicloud, tencloud, or msr-<volume>."""
+    """Trace spec by harness name: alicloud, tencloud, tencloud-writeonly,
+    or msr-<volume>."""
     if name == "alicloud":
         return alicloud_spec()
     if name == "tencloud":
         return tencloud_spec()
+    if name == "tencloud-writeonly":
+        # tencloud's size/locality fingerprint at update_ratio=1.0: the
+        # steady-state write microbench (every op enters the update path)
+        import dataclasses
+
+        return dataclasses.replace(
+            tencloud_spec(), name="tencloud-writeonly", update_ratio=1.0
+        )
     if name.startswith("msr-"):
         return msr_spec(name[4:])
     raise KeyError(f"unknown trace {name!r}")
@@ -83,6 +92,9 @@ class ExperimentConfig:
     #: macro-op fan-out batching (the legacy per-leg path is the
     #: equivalence oracle — same digests either way)
     macro_batching: bool = True
+    #: table-driven steady-state write schedules (the generator path is the
+    #: equivalence oracle — same digests either way)
+    request_schedules: bool = True
     method_options: dict[str, Any] = field(default_factory=dict)
 
     def cluster_config(self) -> ClusterConfig:
@@ -96,6 +108,7 @@ class ExperimentConfig:
             log_max_units=self.log_max_units,
             log_pools=self.log_pools,
             macro_batching=self.macro_batching,
+            request_schedules=self.request_schedules,
             seed=self.seed,
         )
 
@@ -180,6 +193,12 @@ def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResu
             # when an optimization REMOVES events (events/sec rewards doing
             # the same work with more scaffolding; ops/sec does not)
             "sim_ops_per_sec": cfg.n_ops / wall if wall > 0 else 0.0,
+            # fraction of update dispatches the compiled schedule fast
+            # path admitted (repro.sim.schedule); 0.0 when the engine is
+            # off so BENCH entries stay comparable
+            "schedule_hit_rate": (
+                ecfs.schedules.hit_rate if ecfs.schedules is not None else 0.0
+            ),
         },
     )
     if hasattr(ecfs.method, "stall_stats"):

@@ -1,0 +1,508 @@
+"""Table-driven steady-state write schedules.
+
+PR 8's profile left the request path's cost spread across generator
+resumes at ~2µs each, 4–6 frames deep per write: client → dispatch →
+``handle_update`` → persist legs.  When nothing contends — no armed
+fault, no partition, no frozen stripe, no slow/stuck device — every one
+of those frames makes exactly one decision per event, and the decision is
+always the same.  This module compiles that common case once per
+(method, k, m) shape into a flat **slot table** covering the whole
+request — admission → payload ship → method body → ack — and executes it
+with a single slotted driver (:class:`ScheduleRun`) that walks the table
+with inline event completion, reusing PR 8's :class:`~repro.sim.batch.Chain`
+and :class:`~repro.sim.batch.CountdownLatch` machinery.  No per-request
+``Process``, no ``Initialize``/finish bookkeeping for the dispatch tower,
+no tower re-traversal per event.
+
+Equivalence contract (the determinism digests pin it down):
+
+* **Admission is optimistic but checked.**  :meth:`ScheduleEngine.try_update`
+  only accepts a request when the cluster is *steady*: no failed OSD, the
+  network fabric quiescent (no partitions, no armed link faults), the
+  primary's device quiescent (no slow/stuck fault), the stripe not frozen.
+  Anything else declines, and the request runs the legacy generator path
+  untouched.
+* **Compile-out points re-validate.**  The slot right after the payload
+  ship re-checks what the legacy remap-chase loop would have checked
+  (stripe frozen?  primary re-homed?) and **bails out mid-request** to
+  the factored legacy tail (:func:`repro.frontend.ops.finish_update`) on
+  any mismatch — driven to completion by the same send/throw loop, so
+  topology churn landing mid-flight keeps byte-identical behavior.
+* **Every scheduled event matches the legacy path.**  The table's hops
+  mimic the two bookkeeping events the dispatch ``Process`` contributed
+  (``Initialize`` in the URGENT lane; the process-finish event in the
+  NORMAL lane) at the same ticks with the same phases, method bodies run
+  the *identical* leg generators through the identical
+  :func:`~repro.sim.batch.spawn_fanout` calls, and chains fall back to
+  generator drivers under mid-request faults exactly as PR 8's batched
+  primitives do.  A schedules-on run and a schedules-off run produce the
+  same heap, in the same order, with the same sequence numbers.
+
+The generator path survives as the equivalence oracle
+(``ClusterConfig.request_schedules``, default on, mirrors how
+``macro_batching`` kept the per-leg path), and the engine is inert unless
+macro-op batching is also on: the slot tables fan out through
+``spawn_fanout``, which is the batched event structure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.batch import Chain, _make_bootstrap, spawn_fanout
+from repro.sim.core import (
+    _PROCESSED,
+    PHASE_URGENT,
+    Event,
+    Lane,
+    SimulationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.client import UpdateOp
+    from repro.cluster.ecfs import ECFS
+    from repro.update.base import UpdateMethod
+
+__all__ = [
+    "ScheduleEngine",
+    "ScheduleRun",
+    "chain_slot",
+    "effect_slot",
+    "fanout_slot",
+    "gen_slot",
+]
+
+# --------------------------------------------------------------- slot table
+#
+# A compiled schedule is a tuple of (opcode, fn) slots.  ``fn`` takes the
+# running ScheduleRun; what it returns depends on the opcode:
+#
+#   _EFFECT   synchronous side effect, returns nothing; zero events
+#   _CHAIN    returns a Chain already in flight (batched transfer/IO);
+#             the run continues inline at its finish
+#   _GEN      returns a generator, driven to completion by the run's own
+#             send/throw loop (Process._resume minus the process); its
+#             return value lands in run.val for the next slot
+#   _FANOUT   returns the leg list for spawn_fanout (the identical leg
+#             generators the legacy batched path spawns); an empty list
+#             skips inline, matching the legacy ``if legs:`` guard
+#   _CHECK    compile-out validation: returns None to keep going, or the
+#             legacy-tail generator to bail out to
+#   _UHOP     one URGENT-lane queue hop — the slot the dispatch Process's
+#             Initialize event occupied
+#   _HOP      one NORMAL-lane queue hop — the slot its finish event occupied
+#   _DONE     terminal bookkeeping; finishes run.done
+
+_EFFECT = 0
+_CHAIN = 1
+_GEN = 2
+_FANOUT = 3
+_CHECK = 4
+_UHOP = 5
+_HOP = 6
+_DONE = 7
+
+#: run.pc sentinel: the run has bailed out and is driving the legacy tail
+_BAILED = -1
+
+
+def effect_slot(fn: Callable) -> tuple:
+    """Slot: synchronous side effect ``fn(run)`` (no events)."""
+    return (_EFFECT, fn)
+
+
+def chain_slot(fn: Callable) -> tuple:
+    """Slot: ``fn(run)`` returns an in-flight :class:`Chain` to wait on."""
+    return (_CHAIN, fn)
+
+
+def gen_slot(fn: Callable) -> tuple:
+    """Slot: ``fn(run)`` returns a generator, driven inline to completion
+    (its return value becomes ``run.val``)."""
+    return (_GEN, fn)
+
+
+def fanout_slot(fn: Callable) -> tuple:
+    """Slot: ``fn(run)`` returns the fan-out leg list for
+    :func:`~repro.sim.batch.spawn_fanout` (empty list: skipped inline)."""
+    return (_FANOUT, fn)
+
+
+# ------------------------------------------------------------ spine slots
+#
+# The method-independent part of every compiled schedule: what
+# frontend.ops.execute_update does around handle_update, slot for slot.
+
+
+def _slot_send(run: "ScheduleRun") -> Chain:
+    ecfs = run.ecfs
+    op = run.op
+    return ecfs.net.transfer_chain(
+        run.client, run.primary.name, op.size + ecfs.config.header_bytes
+    )
+
+
+def _slot_recheck(run: "ScheduleRun"):
+    # the compile-out point: what the legacy remap-chase loop checks right
+    # after the payload lands on the primary.  Any mismatch bails to the
+    # factored legacy tail, which re-runs this loop with full generality.
+    ecfs = run.ecfs
+    block = run.op.block
+    if (
+        ecfs.stripe_frozen(block.file_id, block.stripe)
+        or ecfs.osd_hosting(block) is not run.primary
+    ):
+        return run.engine._tail(ecfs, run.client, run.op, run.primary)
+    return None
+
+
+def _slot_begin(run: "ScheduleRun") -> None:
+    run.ecfs.note_update_begin(run.op.block)
+    run.began = True
+
+
+def _slot_end(run: "ScheduleRun") -> None:
+    run.began = False
+    run.ecfs.note_update_end(run.op.block)
+
+
+def _slot_ack(run: "ScheduleRun") -> Chain:
+    ecfs = run.ecfs
+    return ecfs.net.transfer_chain(
+        run.primary.name, run.client, ecfs.config.ack_bytes
+    )
+
+
+def _slot_done(run: "ScheduleRun") -> None:
+    ecfs = run.ecfs
+    latency = ecfs.env.now - run.op.issued_at
+    ecfs.metrics.record_update(latency, run.op.size)
+    run.engine.completed += 1
+    run.done.finish(latency)
+
+
+#: payload ship, then validate, then the two bookkeeping events the update
+#: Process contributed: Initialize (URGENT) before the method body ...
+_SPINE_HEAD = (
+    (_CHAIN, _slot_send),
+    (_CHECK, _slot_recheck),
+    (_EFFECT, _slot_begin),
+    (_UHOP, None),
+)
+
+#: ... and the process-finish event (NORMAL) after it, then ack + record.
+_SPINE_TAIL = (
+    (_HOP, None),
+    (_EFFECT, _slot_end),
+    (_CHAIN, _slot_ack),
+    (_DONE, _slot_done),
+)
+
+
+# ---------------------------------------------------------------- executor
+class ScheduleRun:
+    """One request walking a compiled slot table.
+
+    Usable directly as an event callback (like ``Process``); masquerades
+    as the active process while advancing so lane-floor priority and child
+    lane inheritance keep working inside slot code, exactly as the batch
+    drivers do.
+    """
+
+    __slots__ = (
+        "engine",
+        "ecfs",
+        "env",
+        "client",
+        "op",
+        "primary",
+        "lane",
+        "done",
+        "plan",
+        "pc",
+        "val",
+        "ctx",
+        "began",
+        "_gen",
+    )
+
+    def __init__(
+        self,
+        engine: "ScheduleEngine",
+        client: str,
+        op: "UpdateOp",
+        primary,
+        plan: tuple,
+        lane: Optional[Lane],
+    ) -> None:
+        self.engine = engine
+        self.ecfs = engine.ecfs
+        self.env = engine.env
+        self.client = client
+        self.op = op
+        self.primary = primary
+        self.lane = lane
+        self.done = Chain(engine.env)
+        self.plan = plan
+        self.pc = 0
+        self.val: Any = None
+        self.ctx: dict = {}
+        self.began = False
+        self._gen = None
+
+    # event-callback protocol: the run itself is appended to callbacks
+    def __call__(self, event: Event) -> None:
+        self._step(event)
+
+    def _step(self, event: Optional[Event]) -> None:
+        env = self.env
+        prev = env._active_proc
+        env._active_proc = self
+        try:
+            self._advance(event)
+        finally:
+            env._active_proc = prev
+
+    def _advance(self, event: Optional[Event]) -> None:
+        env = self.env
+        plan = self.plan
+        while True:
+            gen = self._gen
+            if gen is not None:
+                # drive the active generator slot — Process._resume's
+                # send/throw loop, reporting completion inline
+                if event is None:
+                    event = _make_bootstrap(env)
+                send = gen.send
+                throw = gen.throw
+                while True:
+                    try:
+                        if event._ok:
+                            nxt = send(event._value)
+                        else:
+                            event._defused = True
+                            nxt = throw(event._value)
+                    except StopIteration as stop:
+                        self._gen = None
+                        self.val = stop.value
+                        break
+                    except BaseException as exc:
+                        self._gen = None
+                        self._fail(exc)
+                        return
+                    try:
+                        state = nxt._state
+                        foreign = nxt.env is not env
+                    except AttributeError:
+                        event = Event(env)
+                        event._ok = False
+                        event._value = SimulationError(
+                            f"schedule slot for op {self.op.op_id} "
+                            f"yielded non-event {nxt!r}"
+                        )
+                        continue
+                    if foreign:
+                        event = Event(env)
+                        event._ok = False
+                        event._value = SimulationError(
+                            "yielded event belongs to another environment"
+                        )
+                        continue
+                    if state == _PROCESSED:
+                        event = nxt
+                        continue
+                    nxt.callbacks.append(self)
+                    return
+                if self.pc == _BAILED:
+                    # the legacy tail ran to completion: its return value
+                    # is the request latency, already recorded by the tail
+                    self.done.finish(self.val)
+                    return
+            elif event is not None:
+                if not event._ok:
+                    event._defused = True
+                    self._fail(event._value)
+                    return
+                self.val = event._value
+
+            event = None
+            opcode, fn = plan[self.pc]
+            self.pc += 1
+            try:
+                if opcode == _EFFECT:
+                    fn(self)
+                elif opcode == _CHAIN:
+                    ch = fn(self)
+                    state = ch._state
+                    if state >= _PROCESSED:
+                        if ch._ok:
+                            self.val = ch._value
+                            continue
+                        ch._defused = True
+                        self._fail(ch._value)
+                        return
+                    ch.callbacks.append(self)
+                    return
+                elif opcode == _GEN:
+                    self._gen = fn(self)
+                elif opcode == _FANOUT:
+                    legs = fn(self)
+                    if not legs:
+                        continue
+                    latch = spawn_fanout(env, legs, lane=self.lane)
+                    latch.callbacks.append(self)
+                    return
+                elif opcode == _CHECK:
+                    remainder = fn(self)
+                    if remainder is None:
+                        continue
+                    self.engine.bails += 1
+                    self._gen = remainder
+                    self.pc = _BAILED
+                elif opcode == _UHOP:
+                    hop = Event(env)
+                    hop.callbacks.append(self)
+                    hop._state = 1  # _TRIGGERED
+                    env._schedule(hop, priority=PHASE_URGENT)
+                    return
+                elif opcode == _HOP:
+                    hop = Event(env)
+                    hop.callbacks.append(self)
+                    hop._state = 1  # _TRIGGERED
+                    env._schedule(hop)
+                    return
+                else:  # _DONE
+                    fn(self)
+                    return
+            except BaseException as exc:
+                self._fail(exc)
+                return
+
+    def _fail(self, exc: BaseException) -> None:
+        # before note_update_begin (or after the bail-out handed the
+        # request's bookkeeping to the legacy tail): deliver inline, like
+        # an exception propagating out of the dispatch generator
+        if not self.began:
+            self.done.finish_fail(exc)
+            return
+        # mid-method failure: the legacy path delivers it through the
+        # update Process's finish event — one NORMAL-lane hop — and runs
+        # note_update_end at that pop (the dispatch frame's ``finally``)
+        relay = Event(self.env)
+        relay._value = exc
+        relay.callbacks.append(self._fail_hop)
+        relay._state = 1  # _TRIGGERED
+        self.env._schedule(relay)
+
+    def _fail_hop(self, relay: Event) -> None:
+        self.began = False
+        self.ecfs.note_update_end(self.op.block)
+        self.done.finish_fail(relay._value)
+
+
+# ------------------------------------------------------------------ engine
+_UNSET = object()
+
+
+class ScheduleEngine:
+    """Per-cluster schedule compiler + admission control + counters.
+
+    Attached as ``ecfs.schedules`` when both ``request_schedules`` and
+    ``macro_batching`` are on; ``None`` otherwise (the slot tables fan out
+    through the batched event structure, so without batching the legacy
+    generator path *is* the steady-state path).
+    """
+
+    __slots__ = (
+        "ecfs",
+        "env",
+        "attempts",
+        "hits",
+        "bails",
+        "completed",
+        "_plans",
+        "_fault_known",
+        "_fault_free",
+        "_tail",
+    )
+
+    def __init__(self, ecfs: "ECFS") -> None:
+        # lazy import: frontend.ops is a consumer of this module's fast
+        # path, so the tail is resolved at engine construction instead of
+        # module import
+        from repro.frontend.ops import finish_update
+
+        self.ecfs = ecfs
+        self.env = ecfs.env
+        self._tail = finish_update
+        self._plans: dict = {}
+        self.attempts = 0
+        self.hits = 0
+        self.bails = 0
+        self.completed = 0
+        # any-failed-OSD probe, cached until topology churn invalidates it;
+        # staleness is only ever conservative (an OSD restart leaves the
+        # fast path off until note_churn re-arms the probe)
+        self._fault_known = False
+        self._fault_free = False
+
+    # ------------------------------------------------------------ admission
+    def try_update(self, client: str, op: "UpdateOp") -> Optional[Chain]:
+        """Admit one update onto the compiled fast path.
+
+        Returns the request's completion :class:`Chain` (value: latency
+        seconds), or ``None`` to decline — the caller then runs the legacy
+        generator path, untouched.
+        """
+        self.attempts += 1
+        ecfs = self.ecfs
+        block = op.block
+        if ecfs.stripe_frozen(block.file_id, block.stripe):
+            return None
+        if not self._fault_known:
+            self._fault_free = not any(osd.failed for osd in ecfs.osds)
+            self._fault_known = True
+        if not (self._fault_free and ecfs.net.quiescent):
+            return None
+        primary = ecfs.osd_hosting(block)
+        if not primary.device.quiescent:
+            return None
+        plan = self._plan_for(ecfs.method)
+        if plan is None:
+            return None
+        self.hits += 1
+        active = self.env._active_proc
+        lane = active.lane if active is not None else None
+        run = ScheduleRun(self, client, op, primary, plan, lane)
+        run._step(None)
+        return run.done
+
+    def note_churn(self) -> None:
+        """Topology changed (OSD failed/restarted/joined/left): re-probe
+        cluster steadiness on the next admission."""
+        self._fault_known = False
+
+    # ---------------------------------------------------------- compilation
+    def _plan_for(self, method: "UpdateMethod") -> Optional[tuple]:
+        key = (method.name, self.ecfs.rs.k, self.ecfs.rs.m)
+        plan = self._plans.get(key, _UNSET)
+        if plan is _UNSET:
+            slots = method.schedule_plan()
+            plan = None if slots is None else _SPINE_HEAD + tuple(slots) + _SPINE_TAIL
+            self._plans[key] = plan
+        return plan
+
+    # -------------------------------------------------------------- counters
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of update dispatches admitted onto the fast path."""
+        return self.hits / self.attempts if self.attempts else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "hits": self.hits,
+            "bails": self.bails,
+            "completed": self.completed,
+            "hit_rate": self.hit_rate,
+        }

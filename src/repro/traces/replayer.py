@@ -102,6 +102,8 @@ class TraceReplayer:
 
     def _client_loop(self, client, deadline: float | None) -> Generator:
         env = self.ecfs.env
+        read_name = f"{client.name}-read"
+        upd_name = f"{client.name}-upd"
         while True:
             if deadline is not None and env.now >= deadline:
                 return
@@ -111,12 +113,12 @@ class TraceReplayer:
             if rec.op == "read":
                 proc = env.process(
                     client.read(rec.file_id, rec.offset, rec.size),
-                    name=f"{client.name}-read",
+                    name=read_name,
                 )
             else:
                 proc = env.process(
                     client.update(rec.file_id, rec.offset, rec.size),
-                    name=f"{client.name}-upd",
+                    name=upd_name,
                 )
             try:
                 yield proc

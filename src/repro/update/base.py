@@ -309,6 +309,18 @@ class UpdateMethod:
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         raise NotImplementedError
 
+    def schedule_plan(self):
+        """Steady-state write timeline for the schedule compiler
+        (:mod:`repro.sim.schedule`): a tuple of slots mirroring this
+        method's ``handle_update`` body slot for slot — the same sync
+        effects at the same callback instants, the same leg generators
+        through the same ``spawn_fanout`` calls — or ``None`` to always
+        take the generator path.  Compiled once per (method, k, m) shape
+        and only executed on requests admitted as uncontended, so the
+        declaration covers exactly the no-fault no-churn case;
+        ``handle_update`` remains the oracle for everything else."""
+        return None
+
     def handle_read(
         self, osd: OSD, block: BlockId, offset: int, size: int
     ) -> Generator:

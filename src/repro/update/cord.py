@@ -57,6 +57,10 @@ class CoRD(UpdateMethod):
     # ------------------------------------------------------------ front end
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         delta = yield from self.data_rmw(osd, op)
+        yield from self._deliver(osd, op, delta)
+
+    def _deliver(self, osd: OSD, op: UpdateOp, delta) -> Generator:
+        """Ship the data delta to the stripe's collector and append it."""
         collector = self._collector_of(op.block)
         if collector.failed:
             # the data block holds the update in place; every parity row
@@ -71,6 +75,17 @@ class CoRD(UpdateMethod):
             # collector died mid-append: the delta reached no parity row
             for _j, _posd, pbid in self.parity_targets(op.block):
                 self._mark_parity_resync(pbid)
+
+    def schedule_plan(self):
+        from repro.sim.schedule import gen_slot
+
+        def rmw(run):
+            return self.data_rmw(run.primary, run.op)
+
+        def deliver(run):
+            return self._deliver(run.primary, run.op, run.val)
+
+        return (gen_slot(rmw), gen_slot(deliver))
 
     def _collector_of(self, block: BlockId) -> OSD:
         pbid = BlockId(block.file_id, block.stripe, self.ecfs.rs.k)  # parity 0

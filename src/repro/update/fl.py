@@ -51,15 +51,7 @@ class FullLogging(UpdateMethod):
         self._locks[osd.name] = Resource(self.env, capacity=1)
 
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
-        # single-log mutual exclusion: appends wait out any recycle
-        with self._locks[osd.name].request() as lock:
-            yield lock
-            yield from osd.io_log_append("fulllog", op.size, tag="fl-append")
-            emap = self._datalog.setdefault(op.block, ExtentMap(MergePolicy.OVERWRITE))
-            emap.insert(op.offset, op.payload, own=True)
-            self._log_bytes[osd.name] += op.size
-            self._raw_entries[osd.name] += 1
-            self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+        yield from self._append_locked(osd, op)
         # replicate the record to every parity OSD's log (fault tolerance)
         if self.batched:
             sends = [
@@ -77,6 +69,33 @@ class FullLogging(UpdateMethod):
         ]
         if sends:
             yield self.env.all_of(sends)
+
+    def _append_locked(self, osd: OSD, op: UpdateOp) -> Generator:
+        # single-log mutual exclusion: appends wait out any recycle
+        with self._locks[osd.name].request() as lock:
+            yield lock
+            yield from osd.io_log_append("fulllog", op.size, tag="fl-append")
+            emap = self._datalog.setdefault(op.block, ExtentMap(MergePolicy.OVERWRITE))
+            emap.insert(op.offset, op.payload, own=True)
+            self._log_bytes[osd.name] += op.size
+            self._raw_entries[osd.name] += 1
+            self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+
+    def schedule_plan(self):
+        from repro.sim.schedule import fanout_slot, gen_slot
+
+        def append(run):
+            return self._append_locked(run.primary, run.op)
+
+        def mirror_legs(run):
+            osd, op = run.primary, run.op
+            return [
+                self._mirror(osd, posd, op)
+                for _j, posd, _pbid in self.parity_targets(op.block)
+                if not posd.failed
+            ]
+
+        return (gen_slot(append), fanout_slot(mirror_legs))
 
     def _mirror(self, osd: OSD, posd: OSD, op: UpdateOp) -> Generator:
         yield from self.forward(osd, posd, op.size)

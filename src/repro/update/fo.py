@@ -47,6 +47,21 @@ class FullOverwrite(UpdateMethod):
             )
         yield self.env.all_of(jobs)
 
+    def schedule_plan(self):
+        from repro.sim.schedule import fanout_slot, gen_slot
+
+        def rmw(run):
+            return self.data_rmw(run.primary, run.op)
+
+        def parity_legs(run):
+            osd, op, delta = run.primary, run.op, run.val
+            return [
+                self._update_parity(osd, posd, pbid, op, delta, j)
+                for j, posd, pbid in self.parity_targets(op.block)
+            ]
+
+        return (gen_slot(rmw), fanout_slot(parity_legs))
+
     def _update_parity(self, osd: OSD, posd: OSD, pbid, op: UpdateOp, delta, j) -> Generator:
         yield self.env.timeout(self.costs.gf_mul(op.size))
         pdelta = parity_delta(self.parity_coef(j, op.block.idx), delta)

@@ -74,6 +74,39 @@ class PARIX(UpdateMethod):
 
     def handle_update(self, osd: OSD, op: UpdateOp) -> Generator:
         targets = self.parity_targets(op.block)
+        live = yield from self._commit_local(osd, op, targets)
+
+        # Wire + log-append charges.  The new data ships first; the parity
+        # node probes its speculation log to decide whether it already holds
+        # D0.  When it does not, it NACKs and the old data follows — the
+        # serial "2x network latency" penalty of Fig. 1.
+        live_targets = [(j, posd) for j, posd, _pbid in targets if not posd.failed]
+        if self.batched:
+            yield from self._ship_batched(osd, op, live, live_targets)
+            return
+        sends = [
+            self.env.process(self._ship(osd, posd, op.size), name=f"parix-new-p{j}")
+            for j, posd in live_targets
+        ]
+        yield self.env.all_of(sends)
+        if live is not None:
+            # NACK comes back before the data node can ship the old bytes
+            nacks = [
+                self.env.process(
+                    self.forward(posd, osd, 0), name=f"parix-nack-p{j}"
+                )
+                for j, posd in live_targets
+            ]
+            yield self.env.all_of(nacks)
+            sends = [
+                self.env.process(self._ship(osd, posd, op.size), name=f"parix-old-p{j}")
+                for j, posd in live_targets
+            ]
+            yield self.env.all_of(sends)
+
+    def _commit_local(self, osd: OSD, op: UpdateOp, targets) -> Generator:
+        """Locked speculative-write phase; returns the captured D0 bytes
+        (``None`` when every touched address already shipped its baseline)."""
         # Front end is serialized per block so the parity logs' old/new state
         # commits in the same order as the in-place writes.
         with osd.block_lock(op.block).request() as lock:
@@ -130,50 +163,44 @@ class PARIX(UpdateMethod):
                     self._log_bytes[posd.name] += op.size
                 log.log_new(op.offset, op.payload)
                 self._log_bytes[posd.name] += op.size
+        return live
 
-        # Wire + log-append charges.  The new data ships first; the parity
-        # node probes its speculation log to decide whether it already holds
-        # D0.  When it does not, it NACKs and the old data follows — the
-        # serial "2x network latency" penalty of Fig. 1.
-        live_targets = [(j, posd) for j, posd, _pbid in targets if not posd.failed]
-        if self.batched:
-            yield spawn_fanout(
-                self.env, [self._ship(osd, posd, op.size) for _j, posd in live_targets]
-            )
-            if live is not None:
-                # NACK comes back before the data node can ship the old bytes
-                # (callable legs: each becomes one wire chain, no driver)
-                yield spawn_fanout(
-                    self.env,
-                    [
-                        (lambda p=posd: self.forward_c(p, osd, 0))
-                        for _j, posd in live_targets
-                    ],
-                )
-                yield spawn_fanout(
-                    self.env,
-                    [self._ship(osd, posd, op.size) for _j, posd in live_targets],
-                )
-            return
-        sends = [
-            self.env.process(self._ship(osd, posd, op.size), name=f"parix-new-p{j}")
-            for j, posd in live_targets
-        ]
-        yield self.env.all_of(sends)
+    def _ship_batched(self, osd: OSD, op: UpdateOp, live, live_targets) -> Generator:
+        yield spawn_fanout(
+            self.env, [self._ship(osd, posd, op.size) for _j, posd in live_targets]
+        )
         if live is not None:
             # NACK comes back before the data node can ship the old bytes
-            nacks = [
-                self.env.process(
-                    self.forward(posd, osd, 0), name=f"parix-nack-p{j}"
-                )
-                for j, posd in live_targets
+            # (callable legs: each becomes one wire chain, no driver)
+            yield spawn_fanout(
+                self.env,
+                [
+                    (lambda p=posd: self.forward_c(p, osd, 0))
+                    for _j, posd in live_targets
+                ],
+            )
+            yield spawn_fanout(
+                self.env,
+                [self._ship(osd, posd, op.size) for _j, posd in live_targets],
+            )
+
+    def schedule_plan(self):
+        from repro.sim.schedule import effect_slot, gen_slot
+
+        def setup(run):
+            run.ctx["targets"] = self.parity_targets(run.op.block)
+
+        def commit(run):
+            return self._commit_local(run.primary, run.op, run.ctx["targets"])
+
+        def ship(run):
+            targets = run.ctx["targets"]
+            live_targets = [
+                (j, posd) for j, posd, _pbid in targets if not posd.failed
             ]
-            yield self.env.all_of(nacks)
-            sends = [
-                self.env.process(self._ship(osd, posd, op.size), name=f"parix-old-p{j}")
-                for j, posd in live_targets
-            ]
-            yield self.env.all_of(sends)
+            return self._ship_batched(run.primary, run.op, run.val, live_targets)
+
+        return (effect_slot(setup), gen_slot(commit), gen_slot(ship))
 
     def _ship(self, osd: OSD, posd: OSD, size: int) -> Generator:
         yield from self.forward(osd, posd, size)

@@ -245,6 +245,41 @@ class TSUE(UpdateMethod):
             yield self.env.all_of(jobs)
         self.append_times["datalog"].append(self.env.now - t0)
 
+    def schedule_plan(self):
+        from repro.sim.schedule import effect_slot, fanout_slot, gen_slot
+
+        def setup(run):
+            run.ctx["t0"] = self.env.now
+            run.ctx["pool"] = self._pool(run.primary, "datalog", run.op.block)
+
+        def append(run):
+            op = run.op
+            # in-memory append (may stall on the unit quota — Fig. 6a; a
+            # stalled append parks this run on the same quota event)
+            return run.ctx["pool"].append(op.block, op.offset, op.payload, own=True)
+
+        def commit(run):
+            op = run.op
+            self.ecfs.oracle.apply(op.block, op.offset, op.payload)
+
+        def persist_legs(run):
+            osd, op = run.primary, run.op
+            legs = [self._persist_local(osd, run.ctx["pool"], op)]
+            for r in range(self.opts.datalog_replicas):
+                legs.append(self._replicate(osd, op, r))
+            return legs
+
+        def record(run):
+            self.append_times["datalog"].append(self.env.now - run.ctx["t0"])
+
+        return (
+            effect_slot(setup),
+            gen_slot(append),
+            effect_slot(commit),
+            fanout_slot(persist_legs),
+            effect_slot(record),
+        )
+
     def _persist_local(self, osd: OSD, pool: LogPool, op: UpdateOp) -> Generator:
         stream = f"datalog{self._pool_idx(op.block)}"
         yield from osd.io_log_append(stream, op.size, tag="tsue-datalog")
