@@ -55,7 +55,7 @@ def normalized(entry: dict, key: str) -> float:
 
 #: engine-path flags that change what the tracked workload measures; an
 #: entry missing a flag predates it, which means the (default-on) behavior
-FLAG_KEYS = ("macro_batching", "request_schedules")
+FLAG_KEYS = ("macro_batching", "request_schedules", "bulk_drain")
 
 
 def flag_config(entry: dict) -> tuple:

@@ -241,6 +241,89 @@ def test_steady_state_write():
     assert perf["schedule_hit_rate"] == 1.0, perf
 
 
+def test_drain_phase():
+    """Isolate the phase the bulk drain plane targets: replay a write-heavy
+    trace, then time the drain/recycle tail on its own (the per-phase
+    ``drain_*`` split in ``ExperimentResult.perf``), bulk plane on vs off,
+    best-of-3 each.
+
+    The event structure is flag-invariant by contract, so the drain event
+    counts must agree across all six runs — the wall-clock ratio is then a
+    pure host-math comparison: packed delta gathers + parity panels vs the
+    per-extent oracle.  The ratio is recorded (with the plane's engagement
+    counters) rather than pinned to a hard bar: on gather-bound workloads
+    the per-byte GF table lookups are identical on both paths and the
+    plane's winnable margin is the bookkeeping around them.  The assert is
+    a regression floor — the plane must never make the drain materially
+    slower than the oracle it replaces."""
+    import dataclasses
+
+    base = ExperimentConfig(
+        method="tsue",
+        trace="tencloud-writeonly",
+        n_ops=1200,
+        n_clients=16,
+        hot_files=2,
+    )
+    runs: dict[bool, list] = {}
+    for flag in (True, False):
+        cfg = dataclasses.replace(base, bulk_drain=flag)
+        runs[flag] = [run_experiment(cfg) for _ in range(3)]
+    # flag-invariant event structure: every run agrees on both phase counts
+    assert len({r.perf["events"] for rs in runs.values() for r in rs}) == 1
+    assert len({r.perf["drain_events"] for rs in runs.values() for r in rs}) == 1
+    best = {
+        flag: min(rs, key=lambda r: r.perf["drain_wall_seconds"])
+        for flag, rs in runs.items()
+    }
+    on, off = best[True].perf, best[False].perf
+    ratio = (
+        off["drain_us_per_event"] / on["drain_us_per_event"]
+        if on["drain_us_per_event"] > 0
+        else float("inf")
+    )
+    host_factor, cal = _host_factor()
+    _append_bench(
+        {
+            "bench": "drain_phase",
+            "timestamp": time.time(),
+            "n_ops": base.n_ops,
+            "macro_batching": base.macro_batching,
+            "request_schedules": base.request_schedules,
+            "bulk_drain": True,
+            "drain_events": on["drain_events"],
+            "drain_wall_seconds": on["drain_wall_seconds"],
+            "drain_us_per_event": on["drain_us_per_event"],
+            "oracle_drain_wall_seconds": off["drain_wall_seconds"],
+            "oracle_drain_us_per_event": off["drain_us_per_event"],
+            "drain_speedup": ratio,
+            "bulk_stats": best[True].extra.get("bulk_drain"),
+            "runs": [
+                {
+                    "bulk_drain": flag,
+                    "drain_wall_seconds": r.perf["drain_wall_seconds"],
+                    "drain_us_per_event": r.perf["drain_us_per_event"],
+                }
+                for flag, rs in runs.items()
+                for r in rs
+            ],
+            "calibration_seconds": cal,
+            "host_factor": host_factor,
+        }
+    )
+    stats = best[True].extra.get("bulk_drain") or {}
+    # the plane must actually engage on this workload (else the bench
+    # compares the oracle with itself and the ratio is meaningless)
+    assert stats.get("consumed", 0) > 0 and stats.get("parity_panels", 0) > 0, stats
+    # regression floor, not a speedup bar (see docstring): same tolerance
+    # doctrine as the nightly gate
+    assert ratio >= 0.70, (
+        f"bulk drain plane made the drain phase materially slower: "
+        f"{on['drain_us_per_event']:.2f} us/ev (on) vs "
+        f"{off['drain_us_per_event']:.2f} us/ev (off), ratio {ratio:.2f}"
+    )
+
+
 def test_thousand_osd_smoke():
     """Thousand-OSD smoke: one modest-op experiment at the cluster scale
     the vectorized bulk ops and macro-op fan-out batching exist for.  No
@@ -368,10 +451,13 @@ def test_sweep_executor_speedup(tmp_path):
         )
     elif cpus == 1:
         # the executor must detect the single core and fall back to serial
-        # execution: the warm in-process prefix memos then make the second
-        # sweep at least as fast as the cold serial one — forking a pool
-        # here used to *lose* (0.5-0.6x) to per-child start-up costs
-        assert parallel_speedup >= 1.0, (
+        # execution: the warm in-process prefix memos then keep the second
+        # sweep at (noise-tolerance) parity with the cold serial one —
+        # forking a pool here used to *lose* (0.5-0.6x) to per-child
+        # start-up costs, and THAT regression is what this guards; a
+        # serial-vs-serial rerun lands within a few percent of 1.0 either
+        # side on a noisy host, so the floor sits below the noise band
+        assert parallel_speedup >= 0.9, (
             f"1-cpu host: 4-worker sweep ran {parallel_speedup:.2f}x serial "
             f"— the executor should have gone serial and reused warm prefixes"
         )

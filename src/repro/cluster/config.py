@@ -79,6 +79,15 @@ class ClusterConfig:
     # inert unless macro_batching is also on (the slot tables fan out
     # through the batched event structure).
     request_schedules: bool = True
+    # bulk recycle/drain plane (repro.sim.bulk): when a drain or watermark
+    # recycle has several settleable log units queued, live extents are
+    # gathered in one pass, merged deltas applied with one GF gather per
+    # stripe column, and parity regenerated side by side
+    # (RSCode.encode_partial) — pure host-side precompute consumed at the
+    # same yield points, so the simulated event structure is untouched.
+    # The per-unit/per-extent recycler stays in the tree as the byte-exact
+    # equivalence oracle (tests/test_bulk_drain.py).
+    bulk_drain: bool = True
     seed: int = 2025
 
     def validate(self) -> None:

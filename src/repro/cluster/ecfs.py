@@ -105,6 +105,16 @@ class ECFS:
 
             self.schedules = ScheduleEngine(self)
 
+        # bulk recycle/drain plane (repro.sim.bulk): None when disabled.
+        # Pure host-side precompute of the drain math — consumed at the
+        # same yield points, so the per-unit recycler stays the
+        # byte-exact oracle (tests/test_bulk_drain.py).
+        self.bulk = None
+        if getattr(self.config, "bulk_drain", True):
+            from repro.sim.bulk import BulkDrainEngine
+
+            self.bulk = BulkDrainEngine(self)
+
         self.clients: list[Client] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.known_blocks: set[BlockId] = set()
@@ -130,6 +140,10 @@ class ECFS:
     # ------------------------------------------------------- stripe activity
     def freeze_stripe(self, file_id: int, stripe: int) -> None:
         self._frozen_stripes.incr((file_id, stripe))
+        # reconstruction/migration/resync windows rewrite real blocks out
+        # of band: void any precomputed bulk-drain deltas
+        if self.bulk is not None:
+            self.bulk.note_churn()
 
     def thaw_stripe(self, file_id: int, stripe: int) -> None:
         self._frozen_stripes.decr((file_id, stripe))

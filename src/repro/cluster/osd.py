@@ -54,6 +54,25 @@ class OSD:
         self._next_block_slot = 0
         self._log_cursor: dict[str, int] = {}
         self._block_locks: dict[Hashable, Resource] = {}
+        # hoisted per-stream strings/addresses: the recycler and log-append
+        # inner loops hit these helpers once per I/O, and the f-string +
+        # hash were measurable there
+        self._stream_names: dict[str, str] = {}
+        self._log_bases: dict[str, int] = {}
+
+    def _qualified_stream(self, stream: str) -> str:
+        name = self._stream_names.get(stream)
+        if name is None:
+            name = self._stream_names[stream] = f"{self.name}:{stream}"
+        return name
+
+    def _log_base(self, stream: str) -> int:
+        base = self._log_bases.get(stream)
+        if base is None:
+            base = self._log_bases[stream] = self._LOG_REGION + (
+                hash(stream) & 0xFFFF
+            ) * (1 << 34)
+        return base
 
     def _lane_priority(self, priority: int) -> int:
         """Apply the active process's scheduling lane (if any) as a priority
@@ -124,12 +143,11 @@ class OSD:
         """Sequential append of ``size`` bytes on log stream ``stream``."""
         self._check_alive()
         cursor = self._log_cursor.get(stream, 0)
-        base = self._LOG_REGION + (hash(stream) & 0xFFFF) * (1 << 34)
         req = IORequest(
             kind=IOKind.WRITE,
-            offset=base + cursor,
+            offset=self._log_base(stream) + cursor,
             size=size,
-            stream=f"{self.name}:{stream}",
+            stream=self._qualified_stream(stream),
             priority=self._lane_priority(priority),
             overwrite=False,
             tag=tag,
@@ -153,7 +171,7 @@ class OSD:
             kind=kind,
             offset=addr,
             size=size,
-            stream=f"{self.name}:{stream}",
+            stream=self._qualified_stream(stream),
             priority=self._lane_priority(priority),
             overwrite=overwrite and kind is IOKind.WRITE,
             tag=tag,
@@ -203,12 +221,11 @@ class OSD:
     ):
         self._check_alive()
         cursor = self._log_cursor.get(stream, 0)
-        base = self._LOG_REGION + (hash(stream) & 0xFFFF) * (1 << 34)
         req = IORequest(
             kind=IOKind.WRITE,
-            offset=base + cursor,
+            offset=self._log_base(stream) + cursor,
             size=size,
-            stream=f"{self.name}:{stream}",
+            stream=self._qualified_stream(stream),
             priority=self._lane_priority(priority),
             overwrite=False,
             tag=tag,
@@ -231,7 +248,7 @@ class OSD:
             kind=kind,
             offset=addr,
             size=size,
-            stream=f"{self.name}:{stream}",
+            stream=self._qualified_stream(stream),
             priority=self._lane_priority(priority),
             overwrite=overwrite and kind is IOKind.WRITE,
             tag=tag,
@@ -255,15 +272,18 @@ class OSD:
         self._note_churn()
 
     def _note_churn(self) -> None:
-        """Invalidate the schedule fast path's cached steadiness probe —
-        every fail/restart site in the tree funnels through :meth:`fail` /
-        :meth:`restart`, so the cache can only ever be stale in the
-        conservative direction."""
+        """Invalidate the schedule fast path's cached steadiness probe and
+        any precomputed bulk-drain deltas — every fail/restart site in the
+        tree funnels through :meth:`fail` / :meth:`restart`, so the caches
+        can only ever be stale in the conservative direction."""
         method = self.method
         if method is not None:
             engine = method.ecfs.schedules
             if engine is not None:
                 engine.note_churn()
+            bulk = method.ecfs.bulk
+            if bulk is not None:
+                bulk.note_churn()
 
     def recover_to(self, replacement: "OSD") -> None:  # pragma: no cover - doc
         raise NotImplementedError("use repro.cluster.recovery.RecoveryManager")

@@ -90,6 +90,9 @@ class ScenarioSpec:
     #: table-driven request schedules (repro.sim.schedule); False runs the
     #: generator oracle path — digests must match either way
     request_schedules: bool = True
+    #: vectorized bulk drain/recycle plane (repro.sim.bulk); False runs the
+    #: per-unit/per-extent oracle path — digests must match either way
+    bulk_drain: bool = True
     #: builds the fault schedule (specs are reusable: a fresh schedule per run)
     build_faults: Callable[["ScenarioSpec"], FaultSchedule] = field(
         default=lambda spec: FaultSchedule()
@@ -111,6 +114,7 @@ class ScenarioSpec:
             background=self.background or BackgroundConfig(),
             macro_batching=self.macro_batching,
             request_schedules=self.request_schedules,
+            bulk_drain=self.bulk_drain,
             seed=seed,
         )
 

@@ -279,6 +279,7 @@ def _run_profile(args) -> int:
         n_ops=args.ops if args.ops is not None else 1500,
         macro_batching=not args.legacy_fanout,
         request_schedules=not args.legacy_schedules,
+        bulk_drain=not args.legacy_bulk_drain,
     )
     profiler = cProfile.Profile()
     profiler.enable()
@@ -292,7 +293,14 @@ def _run_profile(args) -> int:
         f"{perf['sim_ops_per_sec']:.0f} sim-ops/s, "
         f"macro_batching={'off' if args.legacy_fanout else 'on'}, "
         f"request_schedules={'off' if args.legacy_schedules else 'on'}, "
+        f"bulk_drain={'off' if args.legacy_bulk_drain else 'on'}, "
         f"schedule_hit_rate={perf['schedule_hit_rate']:.2f})\n"
+        f"phases: replay {perf['replay_events']:.0f} ev in "
+        f"{perf['replay_wall_seconds']:.3f}s "
+        f"({perf['replay_us_per_event']:.2f} us/ev), "
+        f"drain {perf['drain_events']:.0f} ev in "
+        f"{perf['drain_wall_seconds']:.3f}s "
+        f"({perf['drain_us_per_event']:.2f} us/ev)\n"
     )
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
@@ -517,6 +525,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'profile': run the generator oracle path instead of "
         "table-driven request schedules (contrast profiles)",
+    )
+    prof.add_argument(
+        "--legacy-bulk-drain",
+        action="store_true",
+        help="with 'profile': run the per-unit/per-extent oracle drain "
+        "instead of the vectorized bulk plane (contrast profiles)",
     )
     topo = parser.add_argument_group("topology options")
     topo.add_argument(

@@ -95,6 +95,9 @@ class ExperimentConfig:
     #: table-driven steady-state write schedules (the generator path is the
     #: equivalence oracle — same digests either way)
     request_schedules: bool = True
+    #: vectorized bulk drain/recycle plane (the per-unit/per-extent path is
+    #: the equivalence oracle — same digests either way)
+    bulk_drain: bool = True
     method_options: dict[str, Any] = field(default_factory=dict)
 
     def cluster_config(self) -> ClusterConfig:
@@ -109,6 +112,7 @@ class ExperimentConfig:
             log_pools=self.log_pools,
             macro_batching=self.macro_batching,
             request_schedules=self.request_schedules,
+            bulk_drain=self.bulk_drain,
             seed=self.seed,
         )
 
@@ -164,6 +168,10 @@ def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResu
     targets = files[: cfg.hot_files] if cfg.hot_files else files
     trace = cached_trace(spec, cfg.n_ops, targets, file_bytes, seed=cfg.seed)
     replay = TraceReplayer(ecfs, trace).run(cfg.n_clients, duration=cfg.duration)
+    # per-phase split: everything up to here (build+populate+replay) vs the
+    # drain/verify tail — the phase the bulk plane targets
+    replay_wall = time.perf_counter() - wall0
+    replay_events = ecfs.env.steps
     # Drain outstanding logs before accounting: the paper's workload numbers
     # (Table 1) include each method's recycle I/O.  Replay IOPS/latency were
     # already captured, so the drain does not distort throughput numbers.
@@ -175,6 +183,8 @@ def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResu
     workload = aggregate_workload(ecfs.osds, ecfs.net)
     wall = time.perf_counter() - wall0
     events = ecfs.env.steps
+    drain_wall = wall - replay_wall
+    drain_events = events - replay_events
     result = ExperimentResult(
         config=cfg,
         iops=replay.iops,
@@ -199,8 +209,22 @@ def _run_experiment(cfg: ExperimentConfig, keep_cluster: bool) -> ExperimentResu
             "schedule_hit_rate": (
                 ecfs.schedules.hit_rate if ecfs.schedules is not None else 0.0
             ),
+            # per-phase split: replay = build+populate+replay, drain = the
+            # drain/verify tail (zero when cfg.drain and cfg.verify are off)
+            "replay_wall_seconds": replay_wall,
+            "replay_events": float(replay_events),
+            "replay_us_per_event": (
+                replay_wall * 1e6 / replay_events if replay_events else 0.0
+            ),
+            "drain_wall_seconds": drain_wall,
+            "drain_events": float(drain_events),
+            "drain_us_per_event": (
+                drain_wall * 1e6 / drain_events if drain_events else 0.0
+            ),
         },
     )
+    if ecfs.bulk is not None:
+        result.extra["bulk_drain"] = ecfs.bulk.stats()
     if hasattr(ecfs.method, "stall_stats"):
         result.extra["stalls"] = ecfs.method.stall_stats()
     if hasattr(ecfs.method, "peak_memory_bytes"):

@@ -1,0 +1,456 @@
+"""Bulk recycle/drain plane: batch recycle reads and parity regeneration.
+
+The drain/recycle phase of every log-structured update method ends in the
+same shape of work — read surviving extents, merge, regenerate parity,
+write back — historically done one unit and one extent at a time: one
+``read_range`` + one ``gf_mul_scalar`` temporary per extent, one planner
+walk per unit.  This module batches the *host-side math* of that work
+across whole unit queues the way ``ECFS.populate`` batches encoding:
+
+* **datalog recycle (TSUE)** — when a unit starts recycling, every
+  settleable unit queued behind it is planned in one pass; old bytes are
+  gathered into one packed buffer (store views + an overlay of writes the
+  batch itself will perform), XORed against the packed new bytes in a
+  single vector op, and the per-extent deltas handed back as views when
+  the per-unit recycler reaches the same extent;
+* **parity-delta regeneration** — per-stripe extent sets are scattered
+  into a dense ``(touched_columns, union_bytes)`` matrix and pushed
+  through :meth:`RSCode.encode_partial`, one ``gf_mul_row``/``np.take``
+  pass per coding coefficient instead of one temporary per extent;
+* **XOR folding** — scattered parity-delta entries destined for the same
+  block coalesce into maximal disjoint extents before being applied.
+
+The contract is the one ``macro_batching``/``request_schedules`` set: the
+simulated event structure (every io, forward, timeout — order included)
+is byte-identical with the plane on or off, because precomputed arrays
+are consumed at exactly the yield points where the oracle would have
+computed them.  Guards protect only the *content* of the precompute:
+
+* an **epoch counter** bumped on any out-of-band mutation of real blocks
+  (OSD fail/restart, stripe freeze for reconstruction/migration/resync,
+  scrub repair, fault-injected corruption, on-demand settlement)
+  invalidates all outstanding plans — consumers fall back to the oracle
+  math per extent;
+* a **presence check** per extent (was the block expected in the store?)
+  catches anything the epoch hooks might miss.
+
+The per-unit/per-extent path stays in the tree as the byte-exact
+equivalence oracle (``ClusterConfig.bulk_drain`` off), pinned by
+``tests/test_bulk_drain.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Hashable, Optional
+
+import numpy as np
+
+from repro.core.intervals import Extent, ExtentMap, MergePolicy
+from repro.gf.field import gf_mul_row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.ecfs import ECFS
+    from repro.core.logunit import LogUnit
+    from repro.core.recycler import BlockWork
+
+__all__ = ["BulkDrainEngine", "union_spans"]
+
+#: extents at or above this average size are delta'd directly instead of
+#: through the packed gather — bytes dominate there and packing would only
+#: double the memory traffic (the packed path wins on numpy per-call
+#: overhead, which needs many small extents to matter)
+_PACK_AVG_BYTES = 16 * 1024
+
+
+def union_spans(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Maximal disjoint intervals of the union of ``(start, end)`` spans.
+
+    Spans that overlap **or touch** end-to-start merge — exactly the
+    extent boundaries an :class:`ExtentMap` ends up with after inserting
+    the same spans one at a time (merge-on-overlap + coalesce-on-touch),
+    which is what makes the dense scatter below byte-identical to the
+    per-extent oracle, boundaries included.
+    """
+    if not spans:
+        return []
+    spans = sorted(spans)
+    out: list[list[int]] = [[spans[0][0], spans[0][1]]]
+    for s, e in spans[1:]:
+        last = out[-1]
+        if s <= last[1]:
+            if e > last[1]:
+                last[1] = e
+        else:
+            out.append([s, e])
+    return [(s, e) for s, e in out]
+
+
+class _UnitPlan:
+    """Precomputed per-extent datalog deltas for one sealed unit."""
+
+    __slots__ = ("engine", "epoch", "deltas")
+
+    def __init__(self, engine: "BulkDrainEngine", epoch: int, deltas: dict):
+        self.engine = engine
+        self.epoch = epoch
+        #: key -> (delta view, expected block presence at execution)
+        self.deltas = deltas
+
+    def take(self, key, present: bool) -> Optional[np.ndarray]:
+        """The precomputed delta for ``key``, or None to fall back.
+
+        ``present`` is whether the real block exists in the store at the
+        consuming yield point; a mismatch with the plan-time expectation
+        (or any churn since planning) voids the entry.
+        """
+        entry = self.deltas.pop(key, None)
+        if entry is None:
+            return None
+        if self.epoch != self.engine.epoch:
+            self.engine.fallbacks += 1
+            return None
+        delta, expect_present = entry
+        if present != expect_present:
+            self.engine.fallbacks += 1
+            return None
+        self.engine.consumed += 1
+        return delta
+
+
+class BulkDrainEngine:
+    """Session-wide bulk precompute state, armed as ``ecfs.bulk``."""
+
+    def __init__(self, ecfs: "ECFS") -> None:
+        self.ecfs = ecfs
+        #: bumped on any out-of-band real-block mutation; outstanding
+        #: plans carry the epoch they were computed under
+        self.epoch = 0
+        self._datalog_plans: dict[tuple, _UnitPlan] = {}
+        #: real block -> [(plan, key), ...] for targeted invalidation: a
+        #: recycle lane writing a real block voids OTHER plans' entries on
+        #: that block (live-range resurrection: a newer unit's recycle can
+        #: merge away, un-shadowing a planned extent whose old bytes the
+        #: write just changed — the epoch guard is deliberately not bumped
+        #: by recycle's own writes, so this registry covers them)
+        self._block_entries: dict[Hashable, list] = {}
+        # -- stats (surfaced via stats(); tests assert engagement) --
+        self.batches = 0
+        self.planned_units = 0
+        self.planned_extents = 0
+        self.consumed = 0
+        self.fallbacks = 0
+        self.invalidations = 0
+        self.shadowed = 0
+        self.parity_panels = 0
+        self.folds = 0
+        #: grow-on-demand scratch for panel accumulation (host-side only)
+        self._scratch = np.empty(0, dtype=np.uint8)
+
+    def _scratch_buf(self, n: int) -> np.ndarray:
+        if self._scratch.shape[0] < n:
+            self._scratch = np.empty(max(n, 2 * self._scratch.shape[0]), dtype=np.uint8)
+        return self._scratch[:n]
+
+    # ------------------------------------------------------------- guards
+    def note_churn(self) -> None:
+        """Out-of-band mutation of real blocks: void every plan."""
+        self.epoch += 1
+        if self._datalog_plans:
+            self.invalidations += 1
+            self._datalog_plans.clear()
+        self._block_entries.clear()
+
+    def note_block_write(self, real: Hashable, exempt=None) -> None:
+        """A recycle lane wrote real block ``real``: void every OTHER
+        plan's entries on that block.
+
+        Concurrent recycles (a settle-forced flush racing the arbitered
+        recycler) break the single-snapshot partition the batch plan
+        leans on: once a newer unit's overlapping content merges, a
+        planned extent it used to shadow becomes live again — with ``old``
+        bytes the newer unit's write just changed.  The writing unit's own
+        plan (``exempt``) stays valid: its extents are disjoint per block
+        within its own snapshot."""
+        entries = self._block_entries.get(real)
+        if not entries:
+            return
+        keep = []
+        for plan, key in entries:
+            if plan is exempt:
+                keep.append((plan, key))
+            elif plan.deltas.pop(key, None) is not None:
+                self.shadowed += 1
+        if keep:
+            self._block_entries[real] = keep
+        else:
+            del self._block_entries[real]
+
+    def healthy(self) -> bool:
+        """Plan only when no OSD is down — recovery rewrites real blocks
+        through paths the per-extent oracle handles case by case."""
+        return not any(osd.failed for osd in self.ecfs.osds)
+
+    # ------------------------------------------------- datalog unit plans
+    def datalog_plan(self, pool_name: str, unit: "LogUnit") -> Optional[_UnitPlan]:
+        """The (still-valid) plan for one unit's recycle, if any."""
+        key = (pool_name,) + unit.plan_key
+        plan = self._datalog_plans.get(key)
+        if plan is not None and plan.epoch != self.epoch:
+            del self._datalog_plans[key]
+            return None
+        return plan
+
+    def drop_datalog_plan(self, pool_name: str, unit: "LogUnit") -> None:
+        self._datalog_plans.pop((pool_name,) + unit.plan_key, None)
+
+    def plan_datalog_batch(
+        self,
+        store,
+        pool_name: str,
+        batch: list[tuple["LogUnit", list["BlockWork"]]],
+    ) -> None:
+        """Precompute datalog recycle deltas for a queue of sealed units.
+
+        ``batch`` lists ``(unit, planned work items)`` in recycle order —
+        the unit about to recycle first.  For each extent the delta the
+        oracle would compute at its yield point is ``old ^ new`` where
+        *old* is the store content **at that moment** — which equals the
+        store content *now*: the planner's live extents come from one
+        latest-wins index snapshot, so every byte belongs to exactly one
+        unit and the batch's own writes never feed its later reads (only
+        out-of-band churn can intervene, and the epoch guard covers it).
+        A block the batch writes before this extent reads it will exist
+        by then even if absent now (``BlockStore.write`` materializes) —
+        the expected-presence flag encodes that.
+
+        One exception to "every byte belongs to exactly one extent": with
+        DataLog locality merging disabled (fig. 7 Baseline, TSUE O1 off)
+        a unit's records keep separate RawKeys, so one unit can hold
+        *overlapping* extents of the same real block that must apply in
+        append order — the later extent's *old* includes the earlier
+        extent's write, which this single snapshot cannot see (and
+        ``note_block_write`` exempts a plan's own writes, by design).
+        Such extents are simply left out of the plan: a missing key makes
+        the consuming lane fall back to the oracle expression, which is
+        byte-exact at any interleaving.
+        """
+        self.batches += 1
+        epoch = self.epoch
+        #: real blocks an earlier batch entry writes (hence materializes)
+        written: set[Hashable] = set()
+        for unit, items in batch:
+            flat: list[tuple[tuple, Hashable, Extent]] = []
+            total = 0
+            #: per real block, [start, end) ranges this unit applies —
+            #: in append order, planned or not (an unplanned overlap still
+            #: writes at consume time, so later overlaps of IT are stale too)
+            cover: dict[Hashable, list[tuple[int, int]]] = {}
+            for work in items:
+                real = getattr(work.block, "block", work.block)
+                for ext in work.extents:
+                    lo, hi = ext.start, ext.start + ext.size
+                    seen = cover.setdefault(real, [])
+                    overlaps = any(lo < e and s < hi for s, e in seen)
+                    seen.append((lo, hi))
+                    if overlaps:
+                        # intra-unit append-order overlap: oracle fallback
+                        # (the write still materializes the block)
+                        written.add(real)
+                        continue
+                    flat.append(
+                        (("dl", work.block, ext.start, ext.size), real, ext)
+                    )
+                    total += ext.size
+            deltas: dict = {}
+            plan_key = (pool_name,) + unit.plan_key
+            if not flat:
+                self._datalog_plans[plan_key] = _UnitPlan(self, epoch, deltas)
+                self.planned_units += 1
+                continue
+            if total < _PACK_AVG_BYTES * len(flat):
+                # many small extents: one packed gather + one vector XOR
+                # amortizes the per-call numpy overhead across the unit
+                old = np.empty(total, dtype=np.uint8)
+                new = np.empty(total, dtype=np.uint8)
+                metas: list[tuple[tuple, int, int, bool]] = []
+                pos = 0
+                for key, real, ext in flat:
+                    n = ext.size
+                    new[pos : pos + n] = ext.data
+                    present = real in store
+                    if present:
+                        old[pos : pos + n] = store.read_view(real, ext.start, n)
+                    else:
+                        old[pos : pos + n] = 0
+                    metas.append((key, pos, n, present or real in written))
+                    written.add(real)
+                    pos += n
+                old ^= new  # one vector pass: old becomes the delta buffer
+                old.flags.writeable = False
+                for key, p, n, expect in metas:
+                    deltas[key] = (old[p : p + n], expect)
+            else:
+                # few large extents: bytes dominate, so packing would just
+                # double the memory traffic — compute each delta directly
+                # (the oracle's exact expression, hoisted to plan time)
+                for key, real, ext in flat:
+                    present = real in store
+                    if present:
+                        delta = store.read_view(real, ext.start, ext.size) ^ ext.data
+                    else:
+                        delta = ext.data.copy()
+                    delta.flags.writeable = False
+                    deltas[key] = (delta, present or real in written)
+                    written.add(real)
+            plan = _UnitPlan(self, epoch, deltas)
+            self._datalog_plans[plan_key] = plan
+            for key, real, _ext in flat:
+                self._block_entries.setdefault(real, []).append((plan, key))
+            self.planned_units += 1
+            self.planned_extents += len(deltas)
+
+    # ------------------------------------------------ per-block delta plans
+    def plan_block_deltas(
+        self, store, block: Hashable, exts: list[Extent]
+    ) -> tuple[int, list[tuple[np.ndarray, bool]]]:
+        """Packed old-gather + delta precompute for one block's recycle.
+
+        ``exts`` are the disjoint extents (an OVERWRITE map's) one merge
+        pass will apply to ``block`` in order.  Returns ``(epoch, plans)``
+        with one ``(delta view, expected presence)`` per extent: disjoint
+        extents mean the pass's own writes never feed its later reads, so
+        every delta is ``store-bytes-now ^ new`` — and the first applied
+        extent materializes the block, so every later extent expects it
+        present.  The caller must recheck the epoch (and presence) at each
+        consuming yield point and fall back per extent on a mismatch.
+        """
+        total = sum(ext.size for ext in exts)
+        present0 = block in store
+        self.planned_extents += len(exts)
+        if total >= _PACK_AVG_BYTES * len(exts):
+            # few large extents: direct per-extent deltas (see
+            # plan_datalog_batch — packing would double memory traffic)
+            plans: list[tuple[np.ndarray, bool]] = []
+            for i, ext in enumerate(exts):
+                if present0:
+                    delta = store.read_view(block, ext.start, ext.size) ^ ext.data
+                else:
+                    delta = ext.data.copy()
+                delta.flags.writeable = False
+                plans.append((delta, present0 or i > 0))
+            return self.epoch, plans
+        old = np.empty(total, dtype=np.uint8) if present0 else np.zeros(total, dtype=np.uint8)
+        new = np.empty(total, dtype=np.uint8)
+        metas: list[tuple[int, int, bool]] = []
+        pos = 0
+        for i, ext in enumerate(exts):
+            n = ext.size
+            new[pos : pos + n] = ext.data
+            if present0:
+                old[pos : pos + n] = store.read_view(block, ext.start, n)
+            metas.append((pos, n, present0 or i > 0))
+            pos += n
+        old ^= new
+        old.flags.writeable = False
+        return self.epoch, [(old[p : p + n], exp) for p, n, exp in metas]
+
+    # ------------------------------------------- parity-delta regeneration
+    def stripe_parity_extents(
+        self, sources: list[tuple[int, list[Extent]]]
+    ) -> list[list[Extent]]:
+        """Per-parity-column merged delta extents for one stripe.
+
+        ``sources`` lists ``(data_column, extents)`` for every touched
+        data block.  Result: for each parity column ``j`` the list of
+        coalesced :class:`Extent` objects over the union intervals of all
+        source spans, whose bytes equal XOR-folding per-extent
+        ``gf_mul_scalar(coding[j, col], ext.data)`` products into an
+        XOR-policy :class:`ExtentMap` one at a time — same table lookups,
+        same zero-fill, same boundaries (:func:`union_spans`).  Payloads
+        are read-only views into one ``(m, union)`` panel.
+        """
+        spans = union_spans(
+            [(ext.start, ext.end) for _c, exts in sources for ext in exts]
+        )
+        starts = [s for s, _e in spans]
+        offs: dict[int, int] = {}
+        total = 0
+        for s, e in spans:
+            offs[s] = total
+            total += e - s
+        rs = self.ecfs.rs
+        m = rs.m
+        coding = rs.coding
+        # sparse accumulate: gather each source extent's bytes once per
+        # coefficient and XOR into the panel row — the same table lookups
+        # as encode_partial over a dense scatter matrix, minus the
+        # full-union-row gathers across every zero-filled gap.  When no two
+        # source extents overlap (sum of sizes == union size — the common
+        # case) every extent is the sole contributor to its region, so the
+        # gather lands *directly* in the panel row with no accumulate pass;
+        # XOR into zeros is byte-identical to assignment.
+        panel = np.zeros((m, total), dtype=np.uint8)
+        disjoint = sum(ext.size for _c, exts in sources for ext in exts) == total
+        for col, exts in sources:
+            coefs = [int(coding[i, int(col)]) for i in range(m)]
+            for ext in exts:
+                i = bisect_right(starts, ext.start) - 1
+                s0 = starts[i]
+                p = offs[s0] + (ext.start - s0)
+                n = ext.size
+                for j, coef in enumerate(coefs):
+                    if coef == 0:
+                        continue
+                    row = panel[j, p : p + n]
+                    if coef == 1:
+                        if disjoint:
+                            row[:] = ext.data
+                        else:
+                            row ^= ext.data
+                    elif disjoint:
+                        np.take(gf_mul_row(coef), ext.data, out=row)
+                    else:
+                        scratch = self._scratch_buf(n)
+                        np.take(gf_mul_row(coef), ext.data, out=scratch)
+                        row ^= scratch
+        panel.flags.writeable = False
+        self.parity_panels += 1
+        out: list[list[Extent]] = []
+        for j in range(self.ecfs.rs.m):
+            prow = panel[j]
+            out.append(
+                [Extent(s, prow[offs[s] : offs[s] + (e - s)]) for s, e in spans]
+            )
+        return out
+
+    # ---------------------------------------------------------- XOR folds
+    def fold_xor(
+        self, entries: list[tuple[int, np.ndarray]]
+    ) -> list[tuple[int, np.ndarray]]:
+        """Coalesce scattered ``(offset, delta)`` XOR entries.
+
+        XOR is associative and commutative per byte, so applying the
+        returned maximal disjoint extents yields the same block bytes as
+        applying every raw entry in order — with far fewer ``xor_in``
+        round trips on dense logs.
+        """
+        emap = ExtentMap(MergePolicy.XOR)
+        for offset, delta in entries:
+            emap.insert(offset, delta, own=True)
+        self.folds += 1
+        return [(e.start, e.data) for e in emap.extents()]
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "planned_units": self.planned_units,
+            "planned_extents": self.planned_extents,
+            "consumed": self.consumed,
+            "fallbacks": self.fallbacks,
+            "invalidations": self.invalidations,
+            "shadowed": self.shadowed,
+            "parity_panels": self.parity_panels,
+            "folds": self.folds,
+        }

@@ -152,7 +152,22 @@ class CoRD(UpdateMethod):
         self, collector: OSD, snapshot: _Buffers, priority: int
     ) -> Generator:
         rs = self.ecfs.rs
+        bulk = self.ecfs.bulk
         for (file_id, stripe), per_idx in snapshot.items():
+            # bulk plane: one dense encode_partial panel regenerates ALL m
+            # parity rows' merged deltas for this stripe up front (the
+            # snapshot is immutable once popped, so the precompute cannot
+            # go stale).  The per-extent gf timeouts below are still
+            # charged in the oracle's exact order — only the merged-map
+            # arithmetic is replaced.
+            panel = None
+            if bulk is not None:
+                panel = bulk.stripe_parity_extents(
+                    [
+                        (didx, list(emap.extents()))
+                        for didx, emap in per_idx.items()
+                    ]
+                )
             for j in range(rs.m):
                 pbid = BlockId(file_id, stripe, rs.k + j)
                 posd = self.ecfs.osd_hosting(pbid)
@@ -161,13 +176,22 @@ class CoRD(UpdateMethod):
                     # node restarts, or re-encoded by its rebuild
                     self._mark_parity_resync(pbid)
                     continue
-                merged = ExtentMap(MergePolicy.XOR)
-                for didx, emap in per_idx.items():
-                    coef = self.parity_coef(j, didx)
-                    for ext in emap.extents():
-                        yield self.env.timeout(self.costs.gf_mul(ext.size))
-                        merged.insert(ext.start, gf_mul_scalar(coef, ext.data), own=True)
-                for ext in merged.extents():
+                if panel is not None:
+                    for _didx, emap in per_idx.items():
+                        for ext in emap.extents():
+                            yield self.env.timeout(self.costs.gf_mul(ext.size))
+                    exts = panel[j]
+                else:
+                    merged = ExtentMap(MergePolicy.XOR)
+                    for didx, emap in per_idx.items():
+                        coef = self.parity_coef(j, didx)
+                        for ext in emap.extents():
+                            yield self.env.timeout(self.costs.gf_mul(ext.size))
+                            merged.insert(
+                                ext.start, gf_mul_scalar(coef, ext.data), own=True
+                            )
+                    exts = list(merged.extents())
+                for ext in exts:
                     try:
                         yield from self.forward(collector, posd, ext.size)
                         yield from self.parity_rmw(

@@ -175,19 +175,39 @@ class FullLogging(UpdateMethod):
             self._log_bytes[osd.name] = 0
 
     def _apply_block_log(self, osd: OSD, block: BlockId, emap: ExtentMap) -> Generator:
-        for ext in emap.extents():
+        exts = list(emap.extents())
+        # bulk plane: gather every extent's old bytes and derive the deltas
+        # in one packed pass up front (the recycle lock excludes appends and
+        # reads, and the extents are disjoint, so only out-of-band churn —
+        # epoch-guarded — can invalidate the precompute mid-walk)
+        bulk = self.ecfs.bulk
+        plan = plan_epoch = None
+        if bulk is not None and exts and bulk.healthy():
+            plan_epoch, plan = bulk.plan_block_deltas(osd.store, block, exts)
+        for i, ext in enumerate(exts):
             # read old, write merged data in place, derive deltas
             yield from osd.io_block(
                 IOKind.READ, block, ext.start, ext.size,
                 IOPriority.BACKGROUND, tag="fl-recycle",
             )
-            old = (
-                osd.store.read(block, ext.start, ext.size)
-                if block in osd.store
-                else np.zeros(ext.size, dtype=np.uint8)
-            )
+            present = block in osd.store
+            delta = None
+            if plan is not None:
+                planned, expect = plan[i]
+                if plan_epoch == bulk.epoch and present == expect:
+                    bulk.consumed += 1
+                    delta = planned
+                else:
+                    bulk.fallbacks += 1
+                    plan = None  # churn voids the whole remaining plan
+            if delta is None:
+                old = (
+                    osd.store.read(block, ext.start, ext.size)
+                    if present
+                    else np.zeros(ext.size, dtype=np.uint8)
+                )
+                delta = old ^ ext.data
             yield self.env.timeout(self.costs.xor(ext.size))
-            delta = old ^ ext.data
             yield from osd.io_block(
                 IOKind.WRITE, block, ext.start, ext.size,
                 IOPriority.BACKGROUND, overwrite=True, tag="fl-recycle",

@@ -4,6 +4,11 @@ In-place update of the data block *and* every parity block, all in the
 critical path.  All I/O is small-grained and random; the update path is the
 longest of all methods (Fig. 1), but with zero log debt FO recovers fastest
 (Fig. 8b's reference point).
+
+FO keeps no logs, so the bulk drain plane (``ClusterConfig.bulk_drain``,
+:mod:`repro.sim.bulk`) has nothing to batch here: ``flush`` is the base
+class's no-op and the method is trivially byte-identical under either flag
+setting (the equivalence tests still run it through the full matrix).
 """
 
 from __future__ import annotations

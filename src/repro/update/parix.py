@@ -15,6 +15,15 @@ The parity-side log keeps, per (parity block, source data block):
 
 Recycling then applies ``a_ij (D_n ^ D_0)`` per extent — Eq. (4)'s
 temporal-locality collapse, which is exactly PARIX's selling point.
+
+The bulk drain plane (``ClusterConfig.bulk_drain``, :mod:`repro.sim.bulk`)
+has nothing to precompute here: both operands of every recycle delta
+(``D_0`` and ``D_n``) live in the in-memory pair logs — immutable once the
+recycle pops them — not in the block store, so there are no old-byte
+gathers to batch and no staleness window to guard.  Each extent's single
+``parity_delta`` product is already the minimal host math; the method is
+trivially byte-identical under either flag setting (the equivalence tests
+run it through the full matrix regardless).
 """
 
 from __future__ import annotations

@@ -205,12 +205,19 @@ class ParityLogging(UpdateMethod):
             # stretch the reduced-redundancy exposure window the repair
             # stream's heavy weight exists to minimize.
             if priority >= IOPriority.BACKGROUND:
-                yield from self.ecfs.background.request(
-                    RecycleOp(
-                        osd=posd.name,
-                        nbytes=sum(int(d.shape[0]) for _p, _o, d in entries),
-                        tag="paritylog",
-                    )
+                # batch-grant arbiter path: one RecycleOp covers the whole
+                # replayed backlog (byte accounting is the sum of every
+                # popped entry), submitted through the bulk-drain batch
+                # entry point — a single-item batch is event-for-event
+                # identical to a plain request()
+                yield from self.ecfs.background.request_batch(
+                    [
+                        RecycleOp(
+                            osd=posd.name,
+                            nbytes=sum(int(d.shape[0]) for _p, _o, d in entries),
+                            tag="paritylog",
+                        )
+                    ]
                 )
             # PL's recycle is random-read-heavy: the log is read back and
             # every entry is applied individually (no locality merging).

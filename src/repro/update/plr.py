@@ -139,8 +139,19 @@ class ParityLoggingReserved(UpdateMethod):
             )
             total = sum(int(d.shape[0]) for _o, d in entries)
             yield self.env.timeout(self.costs.xor(total))
-            for offset, pdelta in entries:
-                posd.store.ensure(pbid)
+            posd.store.ensure(pbid)
+            # bulk plane: coalesce the scattered reserved-area deltas into
+            # maximal disjoint extents before touching the block — XOR is
+            # byte-commutative, so the folded application is byte-identical
+            # to replaying every raw entry (the timeout above still charges
+            # the raw total)
+            bulk = self.ecfs.bulk
+            apply_entries = (
+                bulk.fold_xor(entries)
+                if bulk is not None and len(entries) > 1
+                else entries
+            )
+            for offset, pdelta in apply_entries:
                 posd.store.xor_in(pbid, offset, pdelta)
             yield from posd.io_at(
                 IOKind.WRITE,

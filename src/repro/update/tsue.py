@@ -122,6 +122,11 @@ class TSUE(UpdateMethod):
             self.unit_size = min(self.unit_size, 128 * 1024)
         self.n_pools = max(1, self.opts.pools_per_device or cfg.log_pools)
         self.lanes = self.opts.recycle_lanes or cfg.recycle_lanes
+        # hoisted per-pool stream names: the persist/forward/recycle inner
+        # loops hit one of these per I/O, and the f-string was measurable
+        self._dl_streams = [f"datalog{p}" for p in range(self.n_pools)]
+        self._dx_streams = [f"deltalog{p}" for p in range(self.n_pools)]
+        self._px_streams = [f"paritylog{p}" for p in range(self.n_pools)]
 
         # per-OSD, per-layer pools: pools[osd.name][layer][pool index]
         self.pools: dict[str, dict[str, list[LogPool]]] = {}
@@ -281,7 +286,7 @@ class TSUE(UpdateMethod):
         )
 
     def _persist_local(self, osd: OSD, pool: LogPool, op: UpdateOp) -> Generator:
-        stream = f"datalog{self._pool_idx(op.block)}"
+        stream = self._dl_streams[self._pool_idx(op.block)]
         yield from osd.io_log_append(stream, op.size, tag="tsue-datalog")
 
     def _replicate(self, osd: OSD, op: UpdateOp, r: int) -> Generator:
@@ -350,6 +355,24 @@ class TSUE(UpdateMethod):
         self, osd: OSD, pool: LogPool, pidx: int, unit: LogUnit
     ) -> Generator:
         items = self.planner.plan(unit)
+        # bulk drain plane: precompute this unit's deltas AND every unit
+        # queued behind it in one packed-buffer pass (repro.sim.bulk).
+        # Plan only on a healthy, boost-free cluster — recovery paths
+        # rewrite real blocks through case-by-case oracle code.
+        bulk = self.ecfs.bulk
+        if (
+            bulk is not None
+            and not self._recovery_boost
+            and bulk.healthy()
+            and bulk.datalog_plan(pool.name, unit) is None
+        ):
+            batch = [(unit, items)]
+            for queued in pool.recyclable.items:
+                if bulk.datalog_plan(pool.name, queued) is None:
+                    batch.append(
+                        (queued, self.planner.plan(queued, record=False))
+                    )
+            bulk.plan_datalog_batch(osd.store, pool.name, batch)
         lanes = list(self.planner.lanes(items))
         if self.batched:
             if lanes:
@@ -357,18 +380,22 @@ class TSUE(UpdateMethod):
                     self.env,
                     [self._datalog_lane(osd, pool, unit, lane) for lane in lanes],
                 )
-            return
-        procs = [
-            self.env.process(
-                self._datalog_lane(osd, pool, unit, lane),
-                name=f"tsue-dlane-{osd.name}",
-            )
-            for lane in lanes
-        ]
-        if procs:
-            yield self.env.all_of(procs)
+        else:
+            procs = [
+                self.env.process(
+                    self._datalog_lane(osd, pool, unit, lane),
+                    name=f"tsue-dlane-{osd.name}",
+                )
+                for lane in lanes
+            ]
+            if procs:
+                yield self.env.all_of(procs)
+        if bulk is not None:
+            bulk.drop_datalog_plan(pool.name, unit)
 
     def _datalog_lane(self, osd: OSD, pool: LogPool, unit: LogUnit, lane_items) -> Generator:
+        bulk = self.ecfs.bulk
+        plan = bulk.datalog_plan(pool.name, unit) if bulk is not None else None
         for work in lane_items:
             block = self._real_block(work.block)
             for ext in work.extents:
@@ -386,14 +413,21 @@ class TSUE(UpdateMethod):
                     IOKind.READ, block, ext.start, ext.size,
                     IOPriority.BACKGROUND, tag="tsue-dl-recycle",
                 )
-                # snapshot via read-only view: the XOR materializes the
-                # delta before the next yield, so no copy is needed
-                old = (
-                    osd.store.read_view(block, ext.start, ext.size)
-                    if block in osd.store
-                    else np.zeros(ext.size, dtype=np.uint8)
-                )
-                delta = old ^ ext.data
+                present = block in osd.store
+                # bulk fast path: the delta was precomputed in one packed
+                # XOR pass over the whole unit queue; the plan re-checks
+                # churn + expected presence and hands back None to fall
+                # back to the oracle math (bytes identical either way)
+                delta = plan.take(key, present) if plan is not None else None
+                if delta is None:
+                    # snapshot via read-only view: the XOR materializes the
+                    # delta before the next yield, so no copy is needed
+                    old = (
+                        osd.store.read_view(block, ext.start, ext.size)
+                        if present
+                        else np.zeros(ext.size, dtype=np.uint8)
+                    )
+                    delta = old ^ ext.data
                 yield self.env.timeout(self.costs.xor(ext.size))
                 # forward the delta BEFORE the in-place overwrite: should the
                 # node die in between, a replay recomputes the same delta
@@ -405,6 +439,11 @@ class TSUE(UpdateMethod):
                     IOPriority.BACKGROUND, overwrite=True, tag="tsue-dl-recycle",
                 )
                 osd.store.write(block, ext.start, ext.data)
+                # a concurrent recycle (settle-forced flush racing the
+                # arbitered loop) may resurrect a live range this write
+                # just changed: void other plans' entries on this block
+                if bulk is not None:
+                    bulk.note_block_write(block, exempt=plan)
                 unit.recycle_progress.add(key)
 
     def _forward_delta(
@@ -478,7 +517,7 @@ class TSUE(UpdateMethod):
             # between leaves nothing behind, so the caller's fallback
             # cannot double-apply
             yield from p1.io_log_append(
-                f"deltalog{self._pool_idx(block)}",
+                self._dx_streams[self._pool_idx(block)],
                 size,
                 IOPriority.BACKGROUND,
                 tag="tsue-deltalog",
@@ -517,12 +556,26 @@ class TSUE(UpdateMethod):
             block = self._real_block(work.block)
             per_stripe[(block.file_id, block.stripe)].append((block, work))
         rs = self.ecfs.rs
+        bulk = self.ecfs.bulk
         out: list[tuple[tuple, BlockId, object]] = []
         occurrences: dict[tuple, int] = defaultdict(int)
         for (file_id, stripe), works in per_stripe.items():
+            # bulk drain plane: one dense encode_partial panel per stripe
+            # instead of one gf_mul_scalar temporary per (extent, parity
+            # row).  Pure math over the sealed unit's immutable extents —
+            # byte- and boundary-identical to the XOR-merged ExtentMap
+            # (repro.sim.bulk.union_spans documents why), so it needs no
+            # health/epoch gating.
+            panel = None
+            if self.opts.backend_locality and bulk is not None:
+                panel = bulk.stripe_parity_extents(
+                    [(block.idx, work.extents) for block, work in works]
+                )
             for j in range(rs.m):
                 pbid = BlockId(file_id, stripe, rs.k + j)
-                if self.opts.backend_locality:
+                if panel is not None:
+                    exts = panel[j]
+                elif self.opts.backend_locality:
                     merged = ExtentMap(MergePolicy.XOR)
                     for block, work in works:
                         coef = self.parity_coef(j, block.idx)
@@ -592,7 +645,7 @@ class TSUE(UpdateMethod):
                 # device append first, then the in-memory index: a crash in
                 # between leaves nothing behind and the replay redelivers
                 yield from posd.io_log_append(
-                    f"paritylog{self._pool_idx(pbid)}",
+                    self._px_streams[self._pool_idx(pbid)],
                     int(pdelta.shape[0]),
                     IOPriority.BACKGROUND,
                     tag="tsue-paritylog",
@@ -1043,6 +1096,10 @@ class TSUE(UpdateMethod):
                     IOPriority.BACKGROUND, overwrite=True, tag="tsue-ship",
                 )
                 dst.store.write(block, ext.start, ext.data)
+                # the move's freeze already bumped the bulk epoch; the
+                # targeted registry stays coherent regardless
+                if self.ecfs.bulk is not None:
+                    self.ecfs.bulk.note_block_write(block)
             else:  # paritylog: merge the pending parity delta into the copy
                 yield from self.parity_rmw(
                     dst, block, ext.start, ext.data,

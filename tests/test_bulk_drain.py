@@ -1,0 +1,211 @@
+"""Bulk drain plane equivalence tier: vectorized recycle == per-extent oracle.
+
+The bulk drain plane (:mod:`repro.sim.bulk`) batches the host-side math of
+drain/recycle — packed delta gathers across whole unit queues, per-stripe
+parity panels, XOR folds — while leaving the simulated event structure
+untouched: precomputed arrays are consumed at exactly the yield points
+where the per-extent oracle would have computed them.  Its correctness
+contract is the one ``macro_batching``/``request_schedules`` set: with
+``bulk_drain`` on or off, every simulation in this tree must produce
+byte-identical canonical digests — same sim clock, same op counts, same
+latency sums, same device counters, same network totals, same block bytes.
+The per-unit/per-extent path stays in the tree as the equivalence oracle;
+these tests pin the two paths together so they can never drift.
+
+Covered here:
+
+* all seven update methods, the ``bulk_drain x macro_batching`` 2x2 digest
+  matrix + double-run stability (fast tier);
+* engagement accounting: on a clean run the plane actually plans and
+  consumes (else every cell would compare the oracle with itself);
+* identical event *counts* across the flag matrix — the plane must never
+  add or remove a simulated event;
+* a fault-scenario sample across the topo-*/bg-*/slo- families, where the
+  epoch/presence guards must fall back around crashes, rebalance, and
+  frozen stripes without changing a single observable;
+* PYTHONHASHSEED-varied subprocesses: packed plans and panel scatter must
+  not lean on dict/set iteration order any more than the oracle does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fault.digest import cluster_digest
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import get_scenario
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.update.tsue import TSUEOptions
+
+METHODS = ["fo", "fl", "pl", "plr", "parix", "tsue", "cord"]
+
+#: one scenario per family (mirrors the macro-batching tier): elastic
+#: topology, background maintenance pressure, and the QoS front end
+SCENARIO_SAMPLE = ["topo-join-crush", "bg-scrub-under-load", "slo-qos-crash"]
+
+#: the flag matrix: (bulk_drain, macro_batching)
+MATRIX = [(True, True), (True, False), (False, True), (False, False)]
+
+
+def _cfg(method: str, bulk: bool, batched: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        method=method,
+        trace="tencloud",
+        k=4,
+        m=2,
+        n_osds=10,
+        n_clients=4,
+        n_ops=150,
+        block_size=1 << 16,
+        log_unit_size=1 << 17,
+        n_files=2,
+        stripes_per_file=2,
+        seed=4242,
+        verify=True,
+        macro_batching=batched,
+        bulk_drain=bulk,
+    )
+
+
+def _run(method: str, bulk: bool, batched: bool):
+    result = run_experiment(_cfg(method, bulk, batched), keep_cluster=True)
+    return (
+        cluster_digest(result.ecfs),
+        result.perf["events"],
+        result.extra.get("bulk_drain"),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_bulk_matrix_matches_oracle(method):
+    """The core contract: all four cells of the flag matrix are
+    byte-identical in every digested observable, and the bulk cell
+    reproduces itself exactly (double-run determinism)."""
+    cells = {
+        (bulk, batched): _run(method, bulk, batched)
+        for bulk, batched in MATRIX
+    }
+    baseline_digest = cells[(False, False)][0]
+    for flags, (digest, _events, _stats) in cells.items():
+        assert digest == baseline_digest, (
+            f"{method}: digest diverged at bulk_drain="
+            f"{flags[0]}, macro_batching={flags[1]}"
+        )
+    assert _run(method, True, True) == cells[(True, True)]
+    # the plane precomputes host math only: the simulated event structure
+    # (count included) must be flag-invariant, cell for cell
+    assert cells[(True, True)][1] == cells[(False, True)][1], method
+    assert cells[(True, False)][1] == cells[(False, False)][1], method
+
+
+def test_bulk_plane_engages():
+    """The plane must actually plan and consume on a clean run — an inert
+    plane would make the whole matrix above compare the oracle with
+    itself.  TSUE exercises the packed datalog plans and the parity
+    panels; a clean steady run takes zero fallbacks."""
+    _digest, _events, stats = _run("tsue", True, True)
+    assert stats is not None
+    assert stats["planned_units"] > 0, stats
+    assert stats["consumed"] > 0, stats
+    assert stats["parity_panels"] > 0, stats
+    assert stats["fallbacks"] == 0, stats
+
+
+def test_bulk_plane_disarmed_when_off():
+    """With ``bulk_drain`` off the engine is not armed at all — the run
+    reports no bulk stats and takes the oracle path everywhere."""
+    result = run_experiment(_cfg("tsue", False, True), keep_cluster=True)
+    assert result.ecfs.bulk is None
+    assert "bulk_drain" not in result.extra
+
+
+@pytest.mark.parametrize("name", SCENARIO_SAMPLE)
+def test_scenario_bulk_matches_oracle(name):
+    """Fault scenarios — crashes, rebalance, QoS deadlines — agree between
+    the bulk and oracle paths: the epoch/presence guards and the
+    healthy-cluster planning gate must hide the fast path from every
+    observable."""
+
+    def run(bulk: bool):
+        spec = dataclasses.replace(get_scenario(name), bulk_drain=bulk)
+        result = ScenarioRunner(spec).run(seed=7)
+        return (
+            result.digest,
+            result.sim_time,
+            result.ops,
+            result.failures,
+            result.slo,
+            result.background,
+        )
+
+    vectorized, oracle = run(True), run(False)
+    assert vectorized[0] == oracle[0], f"{name}: digest diverged"
+    assert vectorized[1:] == oracle[1:], f"{name}: scenario read-outs diverged"
+
+
+@pytest.mark.parametrize("step", ["Baseline", "O1", "O3"])
+def test_tsue_breakdown_options_bulk_matches_oracle(step):
+    """Feature-ladder option sets change the plan *shape* the bulk plane
+    sees — fig. 7 Baseline keeps unmerged RawKey records, so one unit can
+    hold overlapping extents of the same block that apply in append order
+    (a case ``note_block_write``'s own-plan exemption cannot catch; the
+    planner must leave such extents to the oracle).  Pin digest equality
+    across the flag pair for unmerged (Baseline), datalog-merged (O1),
+    and pooled (O3) shapes."""
+    opts = TSUEOptions.breakdown()[step]
+
+    def run(bulk: bool):
+        cfg = dataclasses.replace(
+            _cfg("tsue", bulk, True), method_options={"options": opts}
+        )
+        result = run_experiment(cfg, keep_cluster=True)
+        return cluster_digest(result.ecfs), result.perf["events"]
+
+    vectorized, oracle = run(True), run(False)
+    assert vectorized[0] == oracle[0], f"{step}: digest diverged"
+    assert vectorized[1] == oracle[1], f"{step}: event count diverged"
+
+
+_HASHSEED_SNIPPET = """
+import dataclasses
+from repro.fault.digest import cluster_digest
+from repro.fault.runner import ScenarioRunner
+from repro.fault.scenarios import get_scenario
+from repro.harness.runner import ExperimentConfig, run_experiment
+for bulk in (True, False):
+    cfg = ExperimentConfig(
+        method="tsue", trace="tencloud", k=4, m=2, n_osds=10, n_clients=4,
+        n_ops=150, block_size=1 << 16, log_unit_size=1 << 17, n_files=2,
+        stripes_per_file=2, seed=4242, verify=True,
+        bulk_drain=bulk,
+    )
+    print(bulk, cluster_digest(run_experiment(cfg, keep_cluster=True).ecfs))
+spec = dataclasses.replace(get_scenario("slo-qos-crash"), bulk_drain=True)
+print(ScenarioRunner(spec).run(seed=7).digest)
+"""
+
+
+def test_bulk_digest_stable_across_hashseeds():
+    """Bulk-plane digests must not depend on PYTHONHASHSEED: two fresh
+    interpreters with different hash seeds agree byte-for-byte (packed
+    plan dicts and panel scatter keep no set- or dict-ordered state on
+    timing paths)."""
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+    def run(hashseed: str) -> str:
+        env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED=hashseed)
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout
+
+    assert run("1") == run("424242")
